@@ -1,0 +1,78 @@
+"""Table 1 — characteristics of the microphone amplifier.
+
+Regenerates every row of the paper's Table 1 from the transistor-level
+design and checks it against the published limits.  The timed kernel is
+the adjoint noise analysis (the measurement the whole table leans on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pga.characterize import CharacterizationOptions, characterize_mic_amp
+from repro.pga.specs import MIC_AMP_SPEC
+from repro.spice.analysis import log_freqs
+from repro.spice.noise import noise_analysis
+
+PAPER_TABLE1 = {
+    "supply_min_v": ("V_sup", ">= 2.6 V operation"),
+    "snr_40db_db": ("S/N (at 40 dB)", ">= 87 dB"),
+    "vnin_300hz_nv": ("V_Nin(300 Hz)", "<= 7 nV/rtHz"),
+    "vnin_1khz_nv": ("V_Nin(1 kHz)", "<= 6 nV/rtHz"),
+    "vnin_avg_nv": ("V_Nin(0.3-3.4 kHz)", "<= 5.1 nV/rtHz"),
+    "hd_0v2_db": ("HD(0.2 Vp)", "<= -52 dB"),
+    "gain_error_db": ("dA_cl", "<= 0.05 dB"),
+    "psrr_1khz_db": ("PSRR(1 kHz)", ">= 75 dB"),
+    "iq_ma": ("I_Q", "<= 2.6 mA"),
+    "area_mm2": ("Area", "1.1 mm^2"),
+}
+
+
+@pytest.fixture(scope="module")
+def measured(tech):
+    return characterize_mic_amp(
+        tech, CharacterizationOptions(quick=False, psrr_trials=3)
+    )
+
+
+def test_table1_reproduction(measured, save_report, benchmark):
+    report = benchmark.pedantic(
+        lambda: MIC_AMP_SPEC.check(measured), rounds=1, iterations=1)
+    lines = ["Table 1: microphone amplifier — paper vs measured", ""]
+    for metric, (label, paper) in PAPER_TABLE1.items():
+        lines.append(f"{label:<22s} paper: {paper:<18s} measured: "
+                     f"{measured[metric]:.4g}")
+    lines.append("")
+    lines.append(report.format())
+    save_report("table1_micamp", "\n".join(lines))
+    assert report.passed, report.format()
+
+
+def test_table1_noise_benchmark(tech, benchmark, mic_design_and_op):
+    design, op = mic_design_and_op
+    freqs = log_freqs(10.0, 100e3, 12)
+
+    def run():
+        return noise_analysis(op, freqs, design.outp, design.outn)
+
+    result = benchmark(run)
+    assert result.average_input_density(300, 3400) * 1e9 < 7.0
+
+
+@pytest.fixture(scope="module")
+def mic_design_and_op(tech):
+    from repro.circuits.micamp import build_mic_amp
+    from repro.spice.dc import dc_operating_point
+
+    design = build_mic_amp(tech, gain_code=5)
+    return design, dc_operating_point(design.circuit)
+
+
+def test_operating_point_benchmark(tech, benchmark):
+    """DC solve time of the full amplifier (the workhorse operation)."""
+    from repro.circuits.micamp import build_mic_amp
+    from repro.spice.dc import dc_operating_point
+
+    design = build_mic_amp(tech, gain_code=5)
+
+    op = benchmark(lambda: dc_operating_point(design.circuit))
+    assert abs(op.i("vdd_src")) < 3e-3

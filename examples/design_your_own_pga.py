@@ -1,0 +1,67 @@
+"""Re-derive the paper's device sizes from a noise spec (Sec. 3.2 as code).
+
+Run:  python examples/design_your_own_pga.py
+
+Walks the paper's methodology: Eq. 2 turns a system S/N requirement into
+an input noise density; the Eqs. 3-5 budget splits it across mechanisms;
+each split term dictates a device quantity.  Then *builds* the resulting
+amplifier and verifies by simulation that it meets the spec it was sized
+for — for the paper's 14-bit target and for a relaxed 12-bit variant.
+"""
+
+from repro.analysis.dynamic_range import VoiceBandBudget
+from repro.circuits.micamp import build_mic_amp
+from repro.pga.design import (
+    derive_mic_amp_sizing,
+    gain_control_for_sizing,
+    sizing_to_mic_amp_sizes,
+)
+from repro.process import CMOS12
+from repro.spice import dc_operating_point, noise_analysis
+from repro.spice.analysis import log_freqs
+
+
+def design_and_verify(label: str, budget: VoiceBandBudget) -> None:
+    print(f"=== {label}: S/N {budget.snr_db} dB "
+          f"({budget.effective_bits():.1f} bits) ===")
+    sizing = derive_mic_amp_sizing(CMOS12, budget=budget)
+    print(f"Eq. 2 target density:  {sizing.target_density * 1e9:.2f} nV/rtHz")
+    print(f"input device gm:       {sizing.gm_input * 1e3:.2f} mS "
+          f"(W/L = {sizing.w_over_l_input:.0f}, "
+          f"area {sizing.gate_area_input_um2 / 1e3:.0f}k um^2)")
+    print(f"load gm:               {sizing.gm_load * 1e3:.2f} mS")
+    print(f"string R_a(40 dB):     {sizing.r_a_max:.0f} ohm "
+          f"(R_total = {sizing.r_total / 1e3:.1f} kohm)")
+    print(f"switch Ron:            {sizing.r_switch_on:.0f} ohm")
+    print(f"predicted average:     {sizing.predicted_avg_nv:.2f} nV/rtHz")
+    for note in sizing.notes:
+        print(f"  note: {note}")
+
+    design = build_mic_amp(
+        CMOS12,
+        gain_code=5,
+        sizes=sizing_to_mic_amp_sizes(sizing),
+        gain=gain_control_for_sizing(sizing),
+    )
+    op = dc_operating_point(design.circuit)
+    nr = noise_analysis(op, log_freqs(100, 50e3, 8), design.outp, design.outn)
+    measured = nr.average_input_density(300, 3400) * 1e9
+    verdict = "MEETS" if measured <= budget.required_noise_density() * 1e9 * 1.1 \
+        else "misses"
+    print(f"simulated average:     {measured:.2f} nV/rtHz -> {verdict} spec")
+    print()
+
+
+def main() -> None:
+    design_and_verify("paper's 14-bit CODEC front-end", VoiceBandBudget())
+    design_and_verify(
+        "relaxed 12-bit variant",
+        VoiceBandBudget(snr_db=74.0),
+    )
+    print("Note how the 12-bit variant collapses the input devices by an")
+    print("order of magnitude — the 5.1 nV/rtHz target is what makes the")
+    print("paper's amplifier large and power-hungry (Sec. 3.1).")
+
+
+if __name__ == "__main__":
+    main()

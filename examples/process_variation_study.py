@@ -1,0 +1,67 @@
+"""Corners, temperature and Monte Carlo: the robustness story of Sec. 2.
+
+Run:  python examples/process_variation_study.py
+
+"Process variations have a large influence on the system behaviour if
+the design approach is chosen incorrectly."  This example characterises
+the front-end blocks over the five corners, the -20..85 degC consumer
+range and Pelgrom mismatch, reproducing the claims the paper makes about
+each bias/reference loop.
+"""
+
+import numpy as np
+
+from repro.circuits.bandgap import build_bandgap, find_r2_trim
+from repro.circuits.bias import build_bias_circuit
+from repro.circuits.micamp import build_mic_amp
+from repro.analysis.psrr import measure_psrr
+from repro.process import CMOS12, CORNERS, MismatchSampler, apply_corner
+from repro.spice import dc_operating_point
+from repro.spice.sweeps import temperature_sweep
+
+
+def main() -> None:
+    # 1. Bias current over corners x temperature.
+    print("bias current [uA] over corners and temperature:")
+    print("corner    -20 C     25 C     85 C")
+    for corner in CORNERS:
+        tech = apply_corner(CMOS12, corner)
+        design = build_bias_circuit(tech)
+        ops = temperature_sweep(design.circuit, np.array([-20.0, 25.0, 85.0]))
+        row = "   ".join(f"{op.v('iout') / 10e3 * 1e6:6.2f}" for op in ops)
+        print(f"  {corner}     {row}")
+
+    # 2. Bandgap tempco per corner (trim once at tt, like production).
+    trim = find_r2_trim(CMOS12, iterations=3)
+    print(f"\nbandgap tempco per corner (single tt trim = {trim:.3f}):")
+    temps = np.linspace(-20, 85, 8)
+    for corner in ("tt", "ff", "ss"):
+        tech = apply_corner(CMOS12, corner)
+        design = build_bandgap(tech, r2_trim=trim)
+        ops = temperature_sweep(design.circuit, temps)
+        vref = np.array([op.v(design.vrefp) - op.v(design.vrefn) for op in ops])
+        tc = (vref.max() - vref.min()) / vref.mean() / (temps[-1] - temps[0]) * 1e6
+        print(f"  {corner}: {tc:6.1f} ppm/degC  "
+              f"(vref = {vref.mean() * 1e3:.1f} mV)")
+
+    # 3. Mic amp offset + PSRR Monte Carlo (the FD-structure argument).
+    print("\nmicrophone amplifier Monte Carlo (10 samples):")
+    offsets, psrrs = [], []
+    for seed in range(10):
+        sampler = MismatchSampler(CMOS12, np.random.default_rng(seed))
+        design = build_mic_amp(CMOS12, gain_code=5, mismatch=sampler)
+        op = dc_operating_point(design.circuit)
+        offsets.append(op.vdiff("outp", "outn"))
+        psrrs.append(measure_psrr(design.circuit, "vdd_src",
+                                  ("vin_p", "vin_n"), "outp", "outn").ratio_db)
+    offsets_mv = np.abs(offsets) * 1e3
+    print(f"  |output offset| at 40 dB: median {np.median(offsets_mv):.1f} mV, "
+          f"max {offsets_mv.max():.1f} mV")
+    print(f"  PSRR at 1 kHz: median {np.median(psrrs):.0f} dB, "
+          f"min {min(psrrs):.0f} dB (paper: >= 75 dB)")
+    print("\nNominally the FD structure has near-infinite PSRR; these")
+    print("mismatch-limited numbers are what a real part measures.")
+
+
+if __name__ == "__main__":
+    main()

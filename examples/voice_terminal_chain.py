@@ -1,0 +1,57 @@
+"""The Fig. 1 scenario: a battery voice terminal's transmit path.
+
+Run:  python examples/voice_terminal_chain.py
+
+Simulates the complete front-end the paper motivates: a microphone signal
+at several acoustic levels, the programmable-gain amplifier (with its
+*measured* transistor-level noise), the second-order sigma-delta
+modulator and the sinc^3 decimator.  Shows why the gain must be
+programmable ("hands free operation of the hand-set under software
+control"): no single gain code serves both a whisper and a speakerphone.
+"""
+
+import numpy as np
+
+from repro.circuits.micamp import build_mic_amp
+from repro.frontend.voice_chain import VoiceChain
+from repro.process import CMOS12
+from repro.spice import dc_operating_point, noise_analysis
+from repro.spice.analysis import log_freqs
+
+
+def main() -> None:
+    # Measure the real amplifier's input-referred noise once.
+    print("measuring the PGA's transistor-level noise spectrum...")
+    design = build_mic_amp(CMOS12, gain_code=5)
+    op = dc_operating_point(design.circuit)
+    nr = noise_analysis(op, log_freqs(10, 100e3, 10), design.outp, design.outn)
+    print(f"  voice-band average: "
+          f"{nr.average_input_density(300, 3400) * 1e9:.2f} nV/rtHz\n")
+
+    chain = VoiceChain()
+    scenarios = {
+        "whisper (0.5 mVrms)": 0.5e-3,
+        "normal speech (2 mVrms)": 2e-3,
+        "loud hands-free (40 mVrms)": 40e-3,
+    }
+    for label, level in scenarios.items():
+        print(f"--- {label} ---")
+        print("code  gain   at modulator   S/N      psophometric  clipped")
+        results = chain.sweep_codes(level, nr.freqs, nr.input_psd)
+        best = int(np.argmax([
+            r.snr_psophometric_db if not r.clipped else -1e9 for r in results
+        ]))
+        for code, res in enumerate(results):
+            marker = "  <== best" if code == best else ""
+            print(f"  {code}   {res.gain_db:4.0f} dB   "
+                  f"{res.signal_at_modulator_rms * 1e3:8.2f} mV   "
+                  f"{res.snr_db:6.1f}   {res.snr_psophometric_db:8.1f} dB"
+                  f"    {'YES' if res.clipped else 'no '}{marker}")
+        print()
+
+    print("The quiet microphone needs 40 dB; the loud one clips everywhere")
+    print("above ~16 dB — the programmability requirement of Sec. 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot build a PEP 660 editable wheel; with this file (and no
+``[build-system]`` table in pyproject.toml) pip falls back to
+``setup.py develop``, which works with plain setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Low supply voltage, low noise fully differential "
+        "programmable gain amplifiers' (Pletersek, Strle, Trontelj, 1995)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

@@ -1,0 +1,32 @@
+"""Measurement layer: the software equivalent of the authors' bench."""
+
+from repro.analysis.distortion import (
+    StaticTransfer,
+    measure_static_transfer,
+    static_thd,
+    transient_thd,
+)
+from repro.analysis.dynamic_range import eq2_required_noise, snr_from_noise
+from repro.analysis.gain import GainMeasurement, measure_gain_codes
+from repro.analysis.noise_budget import MicAmpNoiseBudget, eq5_switch_noise
+from repro.analysis.psophometric import psophometric_weight, psophometric_rms
+from repro.analysis.psrr import measure_cmrr, measure_psrr
+from repro.analysis.slew import measure_slew_rate
+
+__all__ = [
+    "GainMeasurement",
+    "MicAmpNoiseBudget",
+    "StaticTransfer",
+    "eq2_required_noise",
+    "eq5_switch_noise",
+    "measure_cmrr",
+    "measure_gain_codes",
+    "measure_psrr",
+    "measure_slew_rate",
+    "measure_static_transfer",
+    "psophometric_rms",
+    "psophometric_weight",
+    "snr_from_noise",
+    "static_thd",
+    "transient_thd",
+]

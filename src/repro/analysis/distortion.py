@@ -1,0 +1,223 @@
+"""Harmonic distortion measurements.
+
+Two paths, cross-checked in the tests:
+
+* **static**: sweep the DC transfer curve, pass an ideal sine through the
+  fitted nonlinearity, read harmonics with a coherent DFT.  Valid when
+  the stimulus is far below the loop bandwidth — true for every voice-
+  band experiment in the paper — and orders of magnitude faster, so the
+  amplitude sweeps (V_omax at 0.6 %/0.3 % HD, Table 2) use it;
+* **transient**: full nonlinear time-domain run (the Fig. 11 spectrum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.dc import OperatingPoint, dc_operating_point
+from repro.spice.elements import VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.transient import transient_analysis
+from repro.spice.waveform import Waveform, make_time_grid
+
+
+@dataclass
+class StaticTransfer:
+    """A measured DC transfer curve out = f(in)."""
+
+    vin: np.ndarray
+    vout: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.vin) != len(self.vout):
+            raise ValueError("vin and vout must have equal length")
+        if len(self.vin) < 8:
+            raise ValueError("need at least 8 sweep points for harmonic fitting")
+
+    def gain_at(self, vin: float = 0.0) -> float:
+        """Incremental gain d(vout)/d(vin) at an input level."""
+        return float(np.interp(vin, self.vin, np.gradient(self.vout, self.vin)))
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        """Pass a signal through the (interpolated) static nonlinearity."""
+        if signal.min() < self.vin.min() or signal.max() > self.vin.max():
+            raise ValueError(
+                f"signal range [{signal.min():.3g}, {signal.max():.3g}] exceeds "
+                f"measured transfer range [{self.vin.min():.3g}, {self.vin.max():.3g}]"
+            )
+        # Cubic-ish interpolation via numpy: fit local polynomial through
+        # the curve with a spline from scipy for smooth derivatives.
+        from scipy.interpolate import CubicSpline
+
+        spline = CubicSpline(self.vin, self.vout)
+        return np.asarray(spline(signal))
+
+    def thd(self, amplitude: float, n_harmonics: int = 7, n_points: int = 4096,
+            bias: float = 0.0) -> float:
+        """THD (ratio) of a sine of ``amplitude`` through the curve."""
+        t = np.arange(n_points) / n_points
+        sine = bias + amplitude * np.sin(2.0 * np.pi * t)
+        out = self.apply(sine)
+        spec = np.fft.rfft(out - out.mean())
+        mags = np.abs(spec) / n_points * 2.0
+        fund = mags[1]
+        if fund <= 0.0:
+            raise ValueError("no fundamental in static THD evaluation")
+        harm = mags[2 : 2 + n_harmonics - 1]
+        return float(np.sqrt(np.sum(harm**2)) / fund)
+
+    def output_amplitude(self, amplitude: float, n_points: int = 1024,
+                         bias: float = 0.0) -> float:
+        """Fundamental amplitude at the output for a sine input."""
+        t = np.arange(n_points) / n_points
+        sine = bias + amplitude * np.sin(2.0 * np.pi * t)
+        out = self.apply(sine)
+        spec = np.fft.rfft(out - out.mean())
+        return float(np.abs(spec[1]) / n_points * 2.0)
+
+
+def measure_static_transfer(
+    circuit: Circuit,
+    source_p: str,
+    source_n: str | None,
+    out_p: str,
+    out_n: str | None,
+    amplitude: float,
+    points: int = 41,
+    temp_c: float = 25.0,
+) -> StaticTransfer:
+    """Sweep a differential source pair and record the DC transfer.
+
+    ``source_n`` (if given) is driven anti-phase, so ``vin`` is the full
+    differential input.  Sweeping walks outward from zero with warm
+    starts — the same continuation trick the other sweeps use.
+    """
+    el_p = circuit.element(source_p)
+    el_n = circuit.element(source_n) if source_n else None
+    for el in (el_p, el_n):
+        if el is not None and not isinstance(el, VoltageSource):
+            raise TypeError(f"{el.name!r} is not a voltage source")
+
+    system = circuit.compile(temp_c=temp_c)
+    half = amplitude / 2.0 if el_n is not None else amplitude
+    steps = np.linspace(0.0, half, (points + 1) // 2)
+    orig_p = el_p.dc
+    orig_n = el_n.dc if el_n is not None else 0.0
+
+    vin_list: list[float] = []
+    vout_list: list[float] = []
+    try:
+        for direction in (+1.0, -1.0):
+            x_prev = None
+            for v in steps:
+                el_p.dc = direction * v
+                if el_n is not None:
+                    el_n.dc = -direction * v
+                op = dc_operating_point(system, x0=x_prev)
+                x_prev = op.x
+                vd = 2.0 * direction * v if el_n is not None else direction * v
+                out = op.v(out_p) - (op.v(out_n) if out_n else 0.0)
+                vin_list.append(vd)
+                vout_list.append(out)
+    finally:
+        el_p.dc = orig_p
+        if el_n is not None:
+            el_n.dc = orig_n
+
+    order = np.argsort(vin_list)
+    vin = np.asarray(vin_list)[order]
+    vout = np.asarray(vout_list)[order]
+    # Drop the duplicated zero point.
+    keep = np.concatenate([[True], np.diff(vin) > 0.0])
+    return StaticTransfer(vin[keep], vout[keep])
+
+
+def static_thd(
+    circuit: Circuit,
+    source_p: str,
+    source_n: str | None,
+    out_p: str,
+    out_n: str | None,
+    amplitude: float,
+    points: int = 41,
+    n_harmonics: int = 7,
+    temp_c: float = 25.0,
+) -> float:
+    """One-call static THD at a differential amplitude."""
+    transfer = measure_static_transfer(
+        circuit, source_p, source_n, out_p, out_n,
+        amplitude * 1.05, points, temp_c,
+    )
+    return transfer.thd(amplitude, n_harmonics)
+
+
+def transient_thd(
+    circuit: Circuit,
+    source_p: str,
+    source_n: str | None,
+    out_p: str,
+    out_n: str | None,
+    amplitude: float,
+    freq: float = 1e3,
+    cycles: int = 3,
+    points_per_cycle: int = 400,
+    n_harmonics: int = 9,
+    temp_c: float = 25.0,
+) -> tuple[float, Waveform]:
+    """Full transient THD; returns (thd_ratio, output waveform).
+
+    The last two cycles are used for the coherent DFT so start-up
+    transients don't leak into the harmonics.
+    """
+    from repro.spice.elements import Sine
+
+    el_p = circuit.element(source_p)
+    half = amplitude / 2.0 if source_n else amplitude
+    orig_p_wave = el_p.wave
+    el_p.wave = Sine(offset=el_p.dc, amplitude=half, freq=freq)
+    el_n = None
+    orig_n_wave = None
+    if source_n:
+        el_n = circuit.element(source_n)
+        orig_n_wave = el_n.wave
+        el_n.wave = Sine(offset=el_n.dc, amplitude=-half, freq=freq)
+
+    try:
+        t_stop, dt = make_time_grid(freq, cycles, points_per_cycle)
+        result = transient_analysis(circuit, t_stop, dt, temp_c=temp_c)
+        y = result.v(out_p) - (result.v(out_n) if out_n else 0.0)
+        wave = Waveform(result.t, y)
+        seg = wave.last_cycles(freq, min(2, cycles))
+        return seg.thd(freq, n_harmonics), wave
+    finally:
+        el_p.wave = orig_p_wave
+        if el_n is not None:
+            el_n.wave = orig_n_wave
+
+
+def amplitude_at_thd(
+    transfer: StaticTransfer,
+    thd_target: float,
+    amp_lo: float,
+    amp_hi: float,
+    tol: float = 1e-3,
+) -> float:
+    """Largest sine amplitude whose static THD stays below ``thd_target``.
+
+    Used for the Table 2 V_omax(0.6 % HD)/V_omax(0.3 % HD) rows: sweep
+    amplitude by bisection on the monotone THD-vs-amplitude curve.
+    """
+    if transfer.thd(amp_lo) > thd_target:
+        return float("nan")
+    if transfer.thd(amp_hi) < thd_target:
+        return amp_hi
+    lo, hi = amp_lo, amp_hi
+    while hi - lo > tol * amp_hi:
+        mid = 0.5 * (lo + hi)
+        if transfer.thd(mid) < thd_target:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,98 @@
+"""Closed-loop gain measurements (Fig. 5 / Table 1 rows).
+
+Measures per-code gain at a reference frequency, absolute accuracy
+against the nominal dB table, step errors (consecutive-code deltas) and
+the -3 dB bandwidth — the quantities the paper summarises as "accurate
+gain steps of 6 dB and accuracy of the gain".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.micamp import MicAmpDesign
+from repro.spice.ac import ac_analysis
+from repro.spice.dc import dc_operating_point
+
+
+@dataclass
+class GainMeasurement:
+    """Per-code gain results for one amplifier instance."""
+
+    codes: list[int]
+    nominal_db: list[float]
+    measured_db: list[float]
+    bandwidth_hz: list[float] = field(default_factory=list)
+
+    @property
+    def errors_db(self) -> list[float]:
+        return [m - n for m, n in zip(self.measured_db, self.nominal_db)]
+
+    @property
+    def worst_error_db(self) -> float:
+        return max(abs(e) for e in self.errors_db)
+
+    @property
+    def step_errors_db(self) -> list[float]:
+        nominal_steps = np.diff(self.nominal_db)
+        measured_steps = np.diff(self.measured_db)
+        return list(measured_steps - nominal_steps)
+
+    @property
+    def worst_step_error_db(self) -> float:
+        steps = self.step_errors_db
+        return max(abs(e) for e in steps) if steps else 0.0
+
+    def format(self) -> str:
+        lines = ["code  nominal   measured   error"]
+        for c, n, m in zip(self.codes, self.nominal_db, self.measured_db):
+            lines.append(f"  {c}    {n:5.1f} dB  {m:7.3f} dB  {m - n:+.4f} dB")
+        return "\n".join(lines)
+
+
+def measure_gain_codes(
+    design: MicAmpDesign,
+    freq: float = 1e3,
+    temp_c: float = 25.0,
+    with_bandwidth: bool = False,
+) -> GainMeasurement:
+    """Measure the closed-loop gain of every code at ``freq``."""
+    result = GainMeasurement(codes=[], nominal_db=[], measured_db=[])
+    restore = design.gain_code
+    try:
+        for code in range(design.gain.num_codes):
+            design.set_gain_code(code)
+            op = dc_operating_point(design.circuit, temp_c=temp_c)
+            ac = ac_analysis(op, np.array([freq]))
+            h = abs(ac.vdiff(design.outp, design.outn)[0])
+            result.codes.append(code)
+            result.nominal_db.append(design.gain.gain_db(code))
+            result.measured_db.append(20.0 * float(np.log10(h)))
+            if with_bandwidth:
+                result.bandwidth_hz.append(
+                    _bandwidth(design, op, h, freq)
+                )
+    finally:
+        design.set_gain_code(restore)
+    return result
+
+
+def _bandwidth(design: MicAmpDesign, op, g_ref: float, f_ref: float) -> float:
+    """-3 dB closed-loop bandwidth by log-sweep + interpolation."""
+    freqs = np.logspace(np.log10(f_ref), 8, 120)
+    ac = ac_analysis(op, freqs)
+    h = np.abs(ac.vdiff(design.outp, design.outn))
+    target = g_ref / np.sqrt(2.0)
+    below = np.where(h < target)[0]
+    if below.size == 0:
+        return float(freqs[-1])
+    k = below[0]
+    if k == 0:
+        return float(freqs[0])
+    # log-log interpolation
+    f1, f2 = freqs[k - 1], freqs[k]
+    h1, h2 = h[k - 1], h[k]
+    frac = (np.log(target) - np.log(h1)) / (np.log(h2) - np.log(h1))
+    return float(f1 * (f2 / f1) ** frac)

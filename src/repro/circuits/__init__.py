@@ -1,0 +1,39 @@
+"""The paper's circuits as parameterised netlist builders.
+
+Every builder returns a :class:`repro.spice.Circuit` plus a small design
+object describing the interesting nodes, so benches and tests can address
+outputs by role instead of by raw net name.
+"""
+
+from repro.circuits.bias import BiasDesign, build_bias_circuit, eq1_min_supply
+from repro.circuits.bandgap import BandgapDesign, build_bandgap
+from repro.circuits.library import (
+    build_cascode_mirror_cell,
+    build_simple_mirror_cell,
+    mirror_compliance_voltage,
+)
+from repro.circuits.micamp import MicAmpDesign, build_mic_amp
+from repro.circuits.opamp import (
+    ModulatorOpampDesign,
+    build_modulator_opamp,
+    characterize_modulator_opamp,
+)
+from repro.circuits.powerbuffer import PowerBufferDesign, build_power_buffer
+
+__all__ = [
+    "BandgapDesign",
+    "BiasDesign",
+    "MicAmpDesign",
+    "ModulatorOpampDesign",
+    "PowerBufferDesign",
+    "build_modulator_opamp",
+    "characterize_modulator_opamp",
+    "build_bandgap",
+    "build_bias_circuit",
+    "build_cascode_mirror_cell",
+    "build_mic_amp",
+    "build_power_buffer",
+    "build_simple_mirror_cell",
+    "eq1_min_supply",
+    "mirror_compliance_voltage",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction a bench-style front door:
+
+* ``table1`` / ``table2``     — run the full characterisation and print
+  the paper-vs-measured spec report;
+* ``noise``                   — Fig. 7 noise spectrum at a gain code;
+* ``gains``                   — Fig. 5 per-code gain table;
+* ``opamp``                   — the modulator opamp's figures of merit;
+* ``export <block> <file>``   — write a block's SPICE deck for
+  cross-checking with an external simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.process import CMOS12
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.pga.characterize import CharacterizationOptions, characterize_mic_amp
+    from repro.pga.specs import MIC_AMP_SPEC
+
+    measured = characterize_mic_amp(
+        CMOS12, CharacterizationOptions(quick=args.quick)
+    )
+    report = MIC_AMP_SPEC.check(measured)
+    print(report.format())
+    return 0 if report.passed else 1
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.pga.characterize import (
+        CharacterizationOptions,
+        characterize_power_buffer,
+    )
+    from repro.pga.specs import POWER_BUFFER_SPEC
+
+    measured = characterize_power_buffer(
+        CMOS12, CharacterizationOptions(quick=args.quick)
+    )
+    report = POWER_BUFFER_SPEC.check(measured)
+    print(report.format())
+    return 0 if report.passed else 1
+
+
+def _cmd_noise(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.circuits.micamp import build_mic_amp
+    from repro.spice.analysis import log_freqs
+    from repro.spice.dc import dc_operating_point
+    from repro.spice.noise import noise_analysis
+
+    design = build_mic_amp(CMOS12, gain_code=args.code)
+    op = dc_operating_point(design.circuit)
+    freqs = log_freqs(10, 100e3, 10)
+    nr = noise_analysis(op, freqs, design.outp, design.outn)
+    print(f"input-referred noise at gain code {args.code} "
+          f"({design.gain.gain_db(args.code):.0f} dB):")
+    for f, nv in zip(freqs, nr.input_nv()):
+        print(f"  {f:10.1f} Hz   {nv:7.2f} nV/rtHz")
+    avg = nr.average_input_density(300, 3400) * 1e9
+    print(f"voice-band average: {avg:.2f} nV/rtHz (paper: 5.1 at 40 dB)")
+    _ = np
+    return 0
+
+
+def _cmd_gains(args: argparse.Namespace) -> int:
+    from repro.analysis.gain import measure_gain_codes
+    from repro.circuits.micamp import build_mic_amp
+
+    design = build_mic_amp(CMOS12, gain_code=5)
+    gm = measure_gain_codes(design)
+    print(gm.format())
+    print(f"worst absolute error: {gm.worst_error_db:.4f} dB "
+          f"(paper: <= 0.05)")
+    return 0
+
+
+def _cmd_opamp(args: argparse.Namespace) -> int:
+    from repro.circuits.opamp import characterize_modulator_opamp
+
+    result = characterize_modulator_opamp(CMOS12)
+    print("modulator opamp (Sec. 2.2, class A output, ~150 uA):")
+    print(f"  I_Q          {result['iq_ua']:7.1f} uA")
+    print(f"  DC gain      {result['dc_gain_db']:7.1f} dB")
+    print(f"  GBW          {result['gbw_hz'] / 1e6:7.2f} MHz")
+    print(f"  phase margin {result['phase_margin_deg']:7.1f} deg")
+    return 0
+
+
+_BLOCKS = ("micamp", "powerbuffer", "bandgap", "bias", "opamp")
+
+
+def _build_block(name: str):
+    if name == "micamp":
+        from repro.circuits.micamp import build_mic_amp
+
+        return build_mic_amp(CMOS12, gain_code=5).circuit
+    if name == "powerbuffer":
+        from repro.circuits.powerbuffer import build_power_buffer
+
+        return build_power_buffer(CMOS12, feedback="inverting",
+                                  load="resistive").circuit
+    if name == "bandgap":
+        from repro.circuits.bandgap import build_bandgap
+
+        return build_bandgap(CMOS12, r2_trim=1.2).circuit
+    if name == "bias":
+        from repro.circuits.bias import build_bias_circuit
+
+        return build_bias_circuit(CMOS12).circuit
+    if name == "opamp":
+        from repro.circuits.opamp import build_modulator_opamp
+
+        return build_modulator_opamp(CMOS12).circuit
+    raise ValueError(f"unknown block {name!r}; choose from {_BLOCKS}")
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.spice.export import export_netlist
+
+    circuit = _build_block(args.block)
+    deck = export_netlist(circuit)
+    if args.output == "-":
+        sys.stdout.write(deck)
+    else:
+        with open(args.output, "w") as fh:
+            fh.write(deck)
+        print(f"wrote {args.output} ({len(deck.splitlines())} lines)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the 1995 low-voltage FD PGA paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="characterise the microphone amplifier")
+    p1.add_argument("--quick", action="store_true")
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="characterise the power buffer")
+    p2.add_argument("--quick", action="store_true")
+    p2.set_defaults(func=_cmd_table2)
+
+    pn = sub.add_parser("noise", help="Fig. 7 noise spectrum")
+    pn.add_argument("--code", type=int, default=5, choices=range(6))
+    pn.set_defaults(func=_cmd_noise)
+
+    pg = sub.add_parser("gains", help="Fig. 5 gain table")
+    pg.set_defaults(func=_cmd_gains)
+
+    po = sub.add_parser("opamp", help="modulator opamp figures of merit")
+    po.set_defaults(func=_cmd_opamp)
+
+    pe = sub.add_parser("export", help="write a block's SPICE deck")
+    pe.add_argument("block", choices=_BLOCKS)
+    pe.add_argument("output", help="output file, or - for stdout")
+    pe.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""System context (the paper's Fig. 1): behavioural sigma-delta voice chain."""
+
+from repro.frontend.sigma_delta import SigmaDeltaModulator, sigma_delta_snr
+from repro.frontend.decimator import sinc3_decimate
+from repro.frontend.receive_path import ReceivePath
+from repro.frontend.voice_chain import VoiceChain, VoiceChainResult
+
+__all__ = [
+    "ReceivePath",
+    "SigmaDeltaModulator",
+    "VoiceChain",
+    "VoiceChainResult",
+    "sigma_delta_snr",
+    "sinc3_decimate",
+]

@@ -1,0 +1,20 @@
+"""Public programmable-gain front-end API (the paper's contribution)."""
+
+from repro.pga.gain_control import GainControl, GAIN_STEPS_DB
+from repro.pga.specs import (
+    MIC_AMP_SPEC,
+    POWER_BUFFER_SPEC,
+    Spec,
+    SpecLimit,
+    SpecReport,
+)
+
+__all__ = [
+    "GAIN_STEPS_DB",
+    "GainControl",
+    "MIC_AMP_SPEC",
+    "POWER_BUFFER_SPEC",
+    "Spec",
+    "SpecLimit",
+    "SpecReport",
+]

@@ -1,0 +1,15 @@
+"""Reconstructed 1.2 um n-well CMOS technology (devices, corners, matching)."""
+
+from repro.process.technology import CMOS12, Technology
+from repro.process.corners import Corner, CORNERS, apply_corner
+from repro.process.mismatch import MismatchSampler, PelgromModel
+
+__all__ = [
+    "CMOS12",
+    "CORNERS",
+    "Corner",
+    "MismatchSampler",
+    "PelgromModel",
+    "Technology",
+    "apply_corner",
+]

@@ -1,0 +1,91 @@
+"""Process corners.
+
+The paper stresses that "process variations have a large influence on the
+system behaviour if the design approach is chosen incorrectly"; every
+block is therefore characterised over the classic five corners x the
+-20..85 degC consumer temperature range.  Corners scale threshold and
+transconductance factors the way skew lots of that era were specified:
+roughly +/-0.1 V on VTH and +/-15 % on KP, independently per flavour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.process.technology import Technology
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One process corner: multiplicative KP skew, additive VTH skew."""
+
+    name: str
+    nmos_vth_shift: float = 0.0   # [V]
+    pmos_vth_shift: float = 0.0   # [V]
+    nmos_kp_scale: float = 1.0
+    pmos_kp_scale: float = 1.0
+    resistor_scale: float = 1.0   # poly sheet resistance spread
+    bjt_is_scale: float = 1.0
+
+
+CORNERS: dict[str, Corner] = {
+    "tt": Corner("tt"),
+    "ff": Corner(
+        "ff",
+        nmos_vth_shift=-0.10,
+        pmos_vth_shift=-0.10,
+        nmos_kp_scale=1.15,
+        pmos_kp_scale=1.15,
+        resistor_scale=0.85,
+        bjt_is_scale=1.3,
+    ),
+    "ss": Corner(
+        "ss",
+        nmos_vth_shift=+0.10,
+        pmos_vth_shift=+0.10,
+        nmos_kp_scale=0.85,
+        pmos_kp_scale=0.85,
+        resistor_scale=1.15,
+        bjt_is_scale=0.75,
+    ),
+    "fs": Corner(
+        "fs",
+        nmos_vth_shift=-0.08,
+        pmos_vth_shift=+0.08,
+        nmos_kp_scale=1.12,
+        pmos_kp_scale=0.88,
+    ),
+    "sf": Corner(
+        "sf",
+        nmos_vth_shift=+0.08,
+        pmos_vth_shift=-0.08,
+        nmos_kp_scale=0.88,
+        pmos_kp_scale=1.12,
+    ),
+}
+
+
+def apply_corner(tech: Technology, corner: Corner | str) -> Technology:
+    """Produce the skewed :class:`Technology` for a corner."""
+    if isinstance(corner, str):
+        try:
+            corner = CORNERS[corner.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown corner {corner!r}; available: {sorted(CORNERS)}"
+            ) from None
+
+    nmos = replace(
+        tech.nmos,
+        vth0=tech.nmos.vth0 + corner.nmos_vth_shift,
+        kp=tech.nmos.kp * corner.nmos_kp_scale,
+    )
+    pmos = replace(
+        tech.pmos,
+        vth0=tech.pmos.vth0 + corner.pmos_vth_shift,
+        kp=tech.pmos.kp * corner.pmos_kp_scale,
+    )
+    vpnp = replace(tech.vpnp, is_sat=tech.vpnp.is_sat * corner.bjt_is_scale)
+    poly = replace(tech.poly, sheet_ohm=tech.poly.sheet_ohm * corner.resistor_scale)
+    return replace(tech, name=f"{tech.name}-{corner.name}", nmos=nmos, pmos=pmos,
+                   vpnp=vpnp, poly=poly)

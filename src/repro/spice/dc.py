@@ -1,0 +1,325 @@
+"""DC operating point and DC sweeps.
+
+Newton-Raphson with componentwise voltage limiting, falling back to gmin
+stepping and then source stepping.  The paper's circuits (bandgap with a
+degenerate zero-current state, class-AB loops) exercise all three paths;
+builders provide nodesets so the common case converges directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.spice.elements import CurrentSource, Mosfet, VoltageSource
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit, is_ground
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when no DC solution could be found."""
+
+
+@dataclass
+class NewtonOptions:
+    """Tolerances and limits for the Newton loop."""
+
+    max_iterations: int = 150
+    vntol: float = 1e-9          # voltage update tolerance [V]
+    reltol: float = 1e-6
+    abstol: float = 1e-10        # KCL residual tolerance [A]
+    vlimit: float = 0.5          # componentwise per-iteration step clamp [V]
+
+
+@dataclass
+class MosOpInfo:
+    """Operating-point record for one MOSFET."""
+
+    name: str
+    ids: float
+    vgs: float
+    vds: float
+    vsb: float
+    veff: float
+    vdsat: float
+    vth: float
+    gm: float
+    gds: float
+    gmb: float
+    saturated: bool
+
+
+@dataclass
+class BjtOpInfo:
+    """Operating-point record for one BJT."""
+
+    name: str
+    ic: float
+    ib: float
+    vbe: float
+    gm: float
+    gpi: float
+    go: float
+
+
+class OperatingPoint:
+    """A converged DC solution with inspection helpers."""
+
+    def __init__(self, system: MnaSystem, x_ext: np.ndarray, iterations: int, strategy: str):
+        self.system = system
+        self.x = x_ext
+        self.iterations = iterations
+        self.strategy = strategy
+
+    def v(self, node: str) -> float:
+        """Node voltage [V]."""
+        if is_ground(node):
+            return 0.0
+        return float(self.x[self.system.node(node)])
+
+    def vdiff(self, node_p: str, node_n: str) -> float:
+        """Differential voltage V(node_p) - V(node_n)."""
+        return self.v(node_p) - self.v(node_n)
+
+    def i(self, element_name: str) -> float:
+        """Branch current of a voltage-source-like element [A]."""
+        return float(self.x[self.system.branch(element_name)])
+
+    def node_voltages(self) -> dict[str, float]:
+        return {name: self.v(name) for name in self.system.node_names}
+
+    # ------------------------------------------------------------------
+    # Device inspection
+    # ------------------------------------------------------------------
+    def mos_op(self, name: str) -> MosOpInfo:
+        grp = self.system.mos_group
+        if grp is None or name not in grp.names:
+            raise KeyError(f"no MOSFET named {name!r}")
+        k = grp.names.index(name)
+        ev = grp.evaluate(self.x)
+        return MosOpInfo(
+            name=name,
+            ids=float(ev.ids[k]),
+            vgs=float(ev.vgs[k]),
+            vds=float(ev.vds[k]),
+            vsb=float(ev.vsb[k]),
+            veff=float(ev.veff[k]),
+            vdsat=float(ev.vdsat[k]),
+            vth=float(ev.vth[k]),
+            gm=float(ev.gm[k]),
+            gds=float(ev.gds[k]),
+            gmb=float(ev.gmb[k]),
+            saturated=bool(ev.vds[k] > ev.vdsat[k]),
+        )
+
+    def all_mos_op(self) -> dict[str, MosOpInfo]:
+        grp = self.system.mos_group
+        if grp is None:
+            return {}
+        return {name: self.mos_op(name) for name in grp.names}
+
+    def bjt_op(self, name: str) -> BjtOpInfo:
+        grp = self.system.bjt_group
+        if grp is None or name not in grp.names:
+            raise KeyError(f"no BJT named {name!r}")
+        k = grp.names.index(name)
+        ev = grp.evaluate(self.x)
+        return BjtOpInfo(
+            name=name,
+            ic=float(ev.ic[k]),
+            ib=float(ev.ib[k]),
+            vbe=float(ev.vbe[k]),
+            gm=float(ev.gm[k]),
+            gpi=float(ev.gpi[k]),
+            go=float(ev.go[k]),
+        )
+
+    def supply_current(self, source_name: str) -> float:
+        """Magnitude of the current delivered by a supply source [A]."""
+        return abs(self.i(source_name))
+
+    def saturation_report(self) -> list[str]:
+        """Names of MOSFETs operating OUT of saturation (diagnostics)."""
+        return [
+            name for name, op in self.all_mos_op().items()
+            if not op.saturated and abs(op.ids) > 1e-9
+        ]
+
+
+def _newton(
+    system: MnaSystem,
+    x0: np.ndarray,
+    rhs: np.ndarray,
+    gmin: float,
+    options: NewtonOptions,
+) -> tuple[bool, np.ndarray, int]:
+    """Damped Newton iteration; returns (converged, x, iterations)."""
+    n = system.size
+    x = x0.copy()
+    x[system.ground_index] = 0.0
+
+    for iteration in range(1, options.max_iterations + 1):
+        jac, resid, _ = system.assemble(x, rhs, gmin=gmin)
+        a = jac[:n, :n]
+        r = resid[:n]
+        try:
+            dx = np.linalg.solve(a, -r)
+        except np.linalg.LinAlgError:
+            a = a + np.eye(n) * 1e-12
+            try:
+                dx = np.linalg.solve(a, -r)
+            except np.linalg.LinAlgError:
+                return False, x, iteration
+        if not np.all(np.isfinite(dx)):
+            return False, x, iteration
+
+        # Componentwise clamp on node voltages keeps junctions from
+        # overshooting; branch currents are left unclamped (linear rows).
+        nv = system.num_nodes
+        dx_nodes = np.clip(dx[:nv], -options.vlimit, options.vlimit)
+        limited = not np.array_equal(dx_nodes, dx[:nv])
+        x[:nv] += dx_nodes
+        x[nv:n] += dx[nv:n]
+
+        max_dv = float(np.max(np.abs(dx_nodes))) if nv else 0.0
+        kcl = resid[:nv]
+        max_resid = float(np.max(np.abs(kcl))) if nv else 0.0
+        current_scale = float(np.max(np.abs(x[nv:n]))) if n > nv else 0.0
+        itol = options.abstol + options.reltol * max(current_scale, 1e-6)
+        if not limited and max_dv < options.vntol and max_resid < itol * 100:
+            return True, x, iteration
+
+    return False, x, options.max_iterations
+
+
+def _initial_guess(system: MnaSystem) -> np.ndarray:
+    """Start vector: zeros, overridden by nodesets and grounded sources."""
+    x = np.zeros(system.size + 1)
+    # Nodes tied to ground through a DC voltage source start at the source
+    # value; this makes supplies "appear" immediately.
+    for src in system.vsources:
+        if is_ground(src.nn) and not is_ground(src.np):
+            x[system.node(src.np)] = src.dc
+        elif is_ground(src.np) and not is_ground(src.nn):
+            x[system.node(src.nn)] = -src.dc
+    for node, volts in system.circuit.nodesets.items():
+        if not is_ground(node):
+            x[system.node(node)] = volts
+    return x
+
+
+def dc_operating_point(
+    circuit_or_system: Circuit | MnaSystem,
+    temp_c: float = 25.0,
+    options: NewtonOptions | None = None,
+    x0: np.ndarray | None = None,
+) -> OperatingPoint:
+    """Find the DC operating point, escalating through solver strategies.
+
+    Strategy ladder:
+
+    1. plain Newton from the nodeset-seeded initial guess;
+    2. gmin stepping (1e-3 S down to 0, warm-started);
+    3. source stepping (supplies ramped 0 -> 100 %, with a gmin ladder at
+       the final rung).
+    """
+    if isinstance(circuit_or_system, Circuit):
+        system = circuit_or_system.compile(temp_c=temp_c)
+    else:
+        system = circuit_or_system
+    opts = options or NewtonOptions()
+    rhs = system.rhs_dc()
+    start = x0.copy() if x0 is not None else _initial_guess(system)
+
+    converged, x, iters = _newton(system, start, rhs, gmin=0.0, options=opts)
+    if converged:
+        return OperatingPoint(system, x, iters, strategy="newton")
+
+    # --- gmin stepping ---
+    x = start.copy()
+    total_iters = iters
+    ladder = [10.0 ** (-k) for k in range(3, 13)] + [0.0]
+    ok = True
+    for gmin in ladder:
+        converged, x_next, iters = _newton(system, x, rhs, gmin=gmin, options=opts)
+        total_iters += iters
+        if not converged:
+            ok = False
+            break
+        x = x_next
+    if ok:
+        return OperatingPoint(system, x, total_iters, strategy="gmin-stepping")
+
+    # --- source stepping ---
+    x = np.zeros(system.size + 1)
+    scale = 0.0
+    step = 0.1
+    total_iters = 0
+    while scale < 1.0:
+        target = min(1.0, scale + step)
+        converged, x_next, iters = _newton(
+            system, x, system.rhs_dc(scale=target), gmin=1e-9, options=opts
+        )
+        total_iters += iters
+        if converged:
+            x = x_next
+            scale = target
+            step = min(step * 2.0, 0.25)
+        else:
+            step /= 2.0
+            if step < 1e-4:
+                raise ConvergenceError(
+                    f"source stepping stalled at {scale:.4f} of full supplies "
+                    f"for circuit {system.circuit.name!r}"
+                )
+    # Remove the convergence gmin at full excitation.
+    for gmin in (1e-10, 1e-12, 0.0):
+        converged, x_next, iters = _newton(system, x, rhs, gmin=gmin, options=opts)
+        total_iters += iters
+        if converged:
+            x = x_next
+    if not converged:
+        raise ConvergenceError(
+            f"no DC operating point found for circuit {system.circuit.name!r}"
+        )
+    return OperatingPoint(system, x, total_iters, strategy="source-stepping")
+
+
+def dc_sweep(
+    circuit: Circuit,
+    element_name: str,
+    values: np.ndarray,
+    outputs: list[str],
+    temp_c: float = 25.0,
+    options: NewtonOptions | None = None,
+) -> dict[str, np.ndarray]:
+    """Sweep the DC value of a source; warm-start each point.
+
+    ``outputs`` lists node names (voltages) and/or ``"i(<name>)"`` entries
+    (branch currents).  Returns ``{"sweep": values, output: array, ...}``.
+    """
+    el = circuit.element(element_name)
+    if not isinstance(el, (VoltageSource, CurrentSource)):
+        raise TypeError(f"{element_name!r} is not a sweepable source")
+
+    original = el.dc
+    system = circuit.compile(temp_c=temp_c)
+    results: dict[str, list[float]] = {out: [] for out in outputs}
+    x_prev: np.ndarray | None = None
+    try:
+        for value in values:
+            el.dc = float(value)
+            op = dc_operating_point(system, temp_c=temp_c, options=options, x0=x_prev)
+            x_prev = op.x
+            for out in outputs:
+                if out.startswith("i(") and out.endswith(")"):
+                    results[out].append(op.i(out[2:-1]))
+                else:
+                    results[out].append(op.v(out))
+    finally:
+        el.dc = original
+
+    data = {out: np.asarray(vals) for out, vals in results.items()}
+    data["sweep"] = np.asarray(values, dtype=float)
+    return data

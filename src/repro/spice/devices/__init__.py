@@ -1,0 +1,7 @@
+"""Nonlinear device models (MOSFET, BJT, diode) with noise."""
+
+from repro.spice.devices.mosfet import MosModel
+from repro.spice.devices.bjt import BjtModel
+from repro.spice.devices.diode import DiodeModel
+
+__all__ = ["BjtModel", "DiodeModel", "MosModel"]

@@ -1,0 +1,522 @@
+"""Compiled modified-nodal-analysis system.
+
+Compilation maps node names to indices, allocates branch-current unknowns,
+stamps every linear element once into static G/C matrices and groups the
+nonlinear devices for vectorised evaluation.  The "extended matrix" trick
+keeps stamping branch-free: ground is the last index of an (n+1)-dim
+system and the solvers slice it off, so ``np.add.at`` needs no masking.
+
+System convention:  G*x + C*dx/dt + I_nl(x) = b(t),
+with x = [node voltages | branch currents].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import BOLTZMANN, kelvin
+from repro.spice.devices.bjt import BjtGroup
+from repro.spice.devices.diode import DiodeGroup
+from repro.spice.devices.mosfet import MosGroup
+from repro.spice.elements import (
+    Bjt,
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit, is_ground
+
+
+@dataclass
+class NoiseSource:
+    """A single current-noise generator between two nodes.
+
+    ``psd_of`` maps frequency [Hz] to a one-sided PSD [A^2/Hz]; ``device``
+    and ``mechanism`` label the contribution for the paper-style noise
+    budget breakdown ("T1 thermal", "Ra thermal", "T5 flicker", ...).
+    """
+
+    device: str
+    mechanism: str
+    node_a: int
+    node_b: int
+    psd_flat: float          # frequency-independent part [A^2/Hz]
+    psd_flicker: float = 0.0  # coefficient of 1/f^af part [A^2/Hz * Hz^af]
+    af: float = 1.0
+
+    def psd(self, freq: float) -> float:
+        if self.psd_flicker == 0.0:
+            return self.psd_flat
+        return self.psd_flat + self.psd_flicker / freq**self.af
+
+
+class MnaSystem:
+    """A circuit compiled at a fixed temperature, ready for the solvers."""
+
+    def __init__(self, circuit: Circuit, temp_c: float = 25.0) -> None:
+        self.circuit = circuit
+        self.temp_c = temp_c
+
+        # ---------------- node numbering ----------------
+        self.node_names = circuit.nodes()
+        self.num_nodes = len(self.node_names)
+        branch_elements = [el for el in circuit if el.has_branch_current]
+        self.num_branches = len(branch_elements)
+        self.size = self.num_nodes + self.num_branches
+        self.ground_index = self.size  # dummy slot, sliced off by solvers
+
+        self._node_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        self._branch_index: dict[str, int] = {
+            el.name: self.num_nodes + k for k, el in enumerate(branch_elements)
+        }
+
+        # ---------------- static stamps ----------------
+        dim = self.size + 1
+        self.g_static = np.zeros((dim, dim))
+        self.c_static = np.zeros((dim, dim))
+
+        self.vsources: list[VoltageSource] = []
+        self.isources: list[CurrentSource] = []
+
+        mos: list[Mosfet] = []
+        bjts: list[Bjt] = []
+        diodes: list[Diode] = []
+
+        for el in circuit:
+            if isinstance(el, Resistor):
+                self._stamp_conductance(self.g_static, el.n1, el.n2, 1.0 / el.value_at(temp_c))
+            elif isinstance(el, Switch):
+                self._stamp_conductance(self.g_static, el.n1, el.n2, 1.0 / el.resistance)
+            elif isinstance(el, Capacitor):
+                self._stamp_conductance(self.c_static, el.n1, el.n2, el.value)
+            elif isinstance(el, Inductor):
+                j = self._branch_index[el.name]
+                a, b = self.node(el.n1), self.node(el.n2)
+                self.g_static[a, j] += 1.0
+                self.g_static[b, j] -= 1.0
+                self.g_static[j, a] += 1.0
+                self.g_static[j, b] -= 1.0
+                self.c_static[j, j] -= el.value
+            elif isinstance(el, VoltageSource):
+                self.vsources.append(el)
+                self._stamp_vsource_topology(el.name, el.np, el.nn)
+            elif isinstance(el, Vcvs):
+                j = self._branch_index[el.name]
+                self._stamp_vsource_topology(el.name, el.np, el.nn)
+                self.g_static[j, self.node(el.ncp)] -= el.gain
+                self.g_static[j, self.node(el.ncn)] += el.gain
+            elif isinstance(el, Ccvs):
+                j = self._branch_index[el.name]
+                self._stamp_vsource_topology(el.name, el.np, el.nn)
+                jc = self._control_branch(el.control)
+                self.g_static[j, jc] -= el.transresistance
+            elif isinstance(el, Vccs):
+                a, b = self.node(el.np), self.node(el.nn)
+                cp, cn = self.node(el.ncp), self.node(el.ncn)
+                self.g_static[a, cp] += el.gm
+                self.g_static[a, cn] -= el.gm
+                self.g_static[b, cp] -= el.gm
+                self.g_static[b, cn] += el.gm
+            elif isinstance(el, Cccs):
+                a, b = self.node(el.np), self.node(el.nn)
+                jc = self._control_branch(el.control)
+                self.g_static[a, jc] += el.gain
+                self.g_static[b, jc] -= el.gain
+            elif isinstance(el, CurrentSource):
+                self.isources.append(el)
+            elif isinstance(el, Mosfet):
+                mos.append(el)
+            elif isinstance(el, Bjt):
+                bjts.append(el)
+            elif isinstance(el, Diode):
+                diodes.append(el)
+            else:
+                raise TypeError(f"unsupported element type {type(el).__name__}")
+
+        # ---------------- device groups ----------------
+        self.mos_group = self._build_mos_group(mos)
+        self.bjt_group = self._build_bjt_group(bjts)
+        self.diode_group = self._build_diode_group(diodes)
+        if self.mos_group is not None:
+            self._stamp_mos_capacitances()
+
+        # index arrays reused every Newton iteration
+        self._prepare_index_arrays()
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> int:
+        """Extended index for node ``name`` (ground maps to the dummy slot)."""
+        if is_ground(name):
+            return self.ground_index
+        try:
+            return self._node_index[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r} in circuit {self.circuit.name!r}") from None
+
+    def branch(self, element_name: str) -> int:
+        """Extended index of a branch-current unknown."""
+        try:
+            return self._branch_index[element_name]
+        except KeyError:
+            raise KeyError(f"element {element_name!r} has no branch current") from None
+
+    def _control_branch(self, control: str) -> int:
+        el = self.circuit.element(control)
+        if not isinstance(el, (VoltageSource, Vcvs, Ccvs, Inductor)):
+            raise TypeError(
+                f"control element {control!r} must carry a branch current "
+                f"(voltage source or inductor), got {type(el).__name__}"
+            )
+        return self._branch_index[control]
+
+    # ------------------------------------------------------------------
+    # Static stamping
+    # ------------------------------------------------------------------
+    def _stamp_conductance(self, mat: np.ndarray, n1: str, n2: str, g: float) -> None:
+        a, b = self.node(n1), self.node(n2)
+        mat[a, a] += g
+        mat[a, b] -= g
+        mat[b, a] -= g
+        mat[b, b] += g
+
+    def _stamp_vsource_topology(self, name: str, np_node: str, nn_node: str) -> None:
+        j = self._branch_index[name]
+        a, b = self.node(np_node), self.node(nn_node)
+        self.g_static[a, j] += 1.0
+        self.g_static[b, j] -= 1.0
+        self.g_static[j, a] += 1.0
+        self.g_static[j, b] -= 1.0
+
+    def _build_mos_group(self, mos: list[Mosfet]) -> MosGroup | None:
+        if not mos:
+            return None
+        return MosGroup(
+            names=[el.name for el in mos],
+            d=np.array([self.node(el.d) for el in mos]),
+            g=np.array([self.node(el.g) for el in mos]),
+            s=np.array([self.node(el.s) for el in mos]),
+            b=np.array([self.node(el.b) for el in mos]),
+            w=np.array([el.w for el in mos]),
+            l=np.array([el.l for el in mos]),
+            m=np.array([float(el.m) for el in mos]),
+            models=[el.model for el in mos],
+            temp_c=self.temp_c,
+        )
+
+    def _build_bjt_group(self, bjts: list[Bjt]) -> BjtGroup | None:
+        if not bjts:
+            return None
+        return BjtGroup(
+            names=[el.name for el in bjts],
+            c=np.array([self.node(el.c) for el in bjts]),
+            b=np.array([self.node(el.b) for el in bjts]),
+            e=np.array([self.node(el.e) for el in bjts]),
+            area=np.array([el.area for el in bjts]),
+            models=[el.model for el in bjts],
+            temp_c=self.temp_c,
+        )
+
+    def _build_diode_group(self, diodes: list[Diode]) -> DiodeGroup | None:
+        if not diodes:
+            return None
+        return DiodeGroup(
+            names=[el.name for el in diodes],
+            np_idx=np.array([self.node(el.np) for el in diodes]),
+            nn_idx=np.array([self.node(el.nn) for el in diodes]),
+            area=np.array([el.area for el in diodes]),
+            models=[el.model for el in diodes],
+            temp_c=self.temp_c,
+        )
+
+    def _stamp_mos_capacitances(self) -> None:
+        """Attach constant device capacitances to the dynamic matrix."""
+        grp = self.mos_group
+        cgs, cgd, cjun = grp.gate_capacitances()
+        for k in range(len(grp)):
+            pairs = (
+                (grp.g[k], grp.s[k], cgs[k]),
+                (grp.g[k], grp.d[k], cgd[k]),
+                (grp.d[k], grp.b[k], cjun[k]),
+                (grp.s[k], grp.b[k], cjun[k]),
+            )
+            for a, b, c in pairs:
+                self.c_static[a, a] += c
+                self.c_static[a, b] -= c
+                self.c_static[b, a] -= c
+                self.c_static[b, b] += c
+
+    def _prepare_index_arrays(self) -> None:
+        """Precompute fancy-index arrays for vectorised Jacobian stamping."""
+        if self.mos_group is not None:
+            grp = self.mos_group
+            # Jacobian entries are addressed as flat indices into the
+            # extended (dim x dim) matrix: row*dim + col.
+            self._mos_dim = self.size + 1
+
+        if self.bjt_group is not None:
+            pass  # BJT counts are small; per-row add.at is fine
+
+    # ------------------------------------------------------------------
+    # Right-hand sides
+    # ------------------------------------------------------------------
+    def rhs_dc(self, scale: float = 1.0) -> np.ndarray:
+        """DC excitation vector (extended)."""
+        b = np.zeros(self.size + 1)
+        for src in self.vsources:
+            b[self.branch(src.name)] += scale * src.dc
+        for src in self.isources:
+            a, c = self.node(src.np), self.node(src.nn)
+            b[a] -= scale * src.dc
+            b[c] += scale * src.dc
+        return b
+
+    def rhs_ac(self) -> np.ndarray:
+        """Complex AC excitation vector (extended)."""
+        b = np.zeros(self.size + 1, dtype=complex)
+        for src in self.vsources:
+            if src.ac != 0.0:
+                phasor = src.ac * np.exp(1j * src.ac_phase)
+                b[self.branch(src.name)] += phasor
+        for src in self.isources:
+            if src.ac != 0.0:
+                phasor = src.ac * np.exp(1j * src.ac_phase)
+                a, c = self.node(src.np), self.node(src.nn)
+                b[a] -= phasor
+                b[c] += phasor
+        return b
+
+    def rhs_transient(self, t: float) -> np.ndarray:
+        """Time-domain excitation vector at time ``t`` (extended)."""
+        b = np.zeros(self.size + 1)
+        for src in self.vsources:
+            b[self.branch(src.name)] += src.value_at(t)
+        for src in self.isources:
+            a, c = self.node(src.np), self.node(src.nn)
+            value = src.value_at(t)
+            b[a] -= value
+            b[c] += value
+        return b
+
+    # ------------------------------------------------------------------
+    # Nonlinear assembly
+    # ------------------------------------------------------------------
+    def assemble(
+        self, x_ext: np.ndarray, rhs_ext: np.ndarray, gmin: float = 0.0
+    ) -> tuple[np.ndarray, np.ndarray, dict]:
+        """Residual and Jacobian at solution ``x_ext``.
+
+        Returns ``(jac, resid, evals)`` where both are extended-dimension
+        and ``evals`` carries the device evaluations (reused for OP info
+        and noise).  ``gmin`` adds a leak to every node diagonal (gmin
+        stepping).
+        """
+        dim = self.size + 1
+        jac = self.g_static.copy()
+        resid = self.g_static @ x_ext - rhs_ext
+        evals: dict = {}
+
+        if gmin > 0.0:
+            idx = np.arange(self.num_nodes)
+            jac[idx, idx] += gmin
+            resid[idx] += gmin * x_ext[idx]
+
+        if self.mos_group is not None:
+            ev = self.mos_group.evaluate(x_ext)
+            evals["mos"] = ev
+            self._stamp_mos(jac, resid, ev)
+
+        if self.bjt_group is not None:
+            ev = self.bjt_group.evaluate(x_ext)
+            evals["bjt"] = ev
+            self._stamp_bjt(jac, resid, ev)
+
+        if self.diode_group is not None:
+            ev = self.diode_group.evaluate(x_ext)
+            evals["diode"] = ev
+            self._stamp_diode(jac, resid, ev)
+
+        # Zero the dummy ground row/column so it never feeds back.
+        jac[self.ground_index, :] = 0.0
+        jac[:, self.ground_index] = 0.0
+        resid[self.ground_index] = 0.0
+        return jac, resid, evals
+
+    def _stamp_mos(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
+        grp = self.mos_group
+        eff_d = np.where(ev.swapped, grp.s, grp.d)
+        eff_s = np.where(ev.swapped, grp.d, grp.s)
+        gm, gds, gmb = ev.gm, ev.gds, ev.gmb
+        gss = gm + gds + gmb
+        ids_into_eff_drain = grp.sign * ev.ids  # physical current into eff_d
+
+        np.add.at(resid, eff_d, ids_into_eff_drain)
+        np.add.at(resid, eff_s, -ids_into_eff_drain)
+
+        dim = self.size + 1
+        flat = jac.reshape(-1)
+        rows_d = eff_d * dim
+        rows_s = eff_s * dim
+        np.add.at(flat, rows_d + eff_d, gds)
+        np.add.at(flat, rows_d + grp.g, gm)
+        np.add.at(flat, rows_d + eff_s, -gss)
+        np.add.at(flat, rows_d + grp.b, gmb)
+        np.add.at(flat, rows_s + eff_d, -gds)
+        np.add.at(flat, rows_s + grp.g, -gm)
+        np.add.at(flat, rows_s + eff_s, gss)
+        np.add.at(flat, rows_s + grp.b, -gmb)
+
+    def _stamp_bjt(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
+        grp = self.bjt_group
+        c, b, e = grp.c, grp.b, grp.e
+        np.add.at(resid, c, ev.ic)
+        np.add.at(resid, b, ev.ib)
+        np.add.at(resid, e, -(ev.ic + ev.ib))
+
+        dim = self.size + 1
+        flat = jac.reshape(-1)
+        gm, gpi, go, gmu = ev.gm, ev.gpi, ev.go, ev.gmu
+        rows_c = c * dim
+        rows_b = b * dim
+        rows_e = e * dim
+        np.add.at(flat, rows_c + b, gm - go)
+        np.add.at(flat, rows_c + c, go)
+        np.add.at(flat, rows_c + e, -gm)
+        np.add.at(flat, rows_b + b, gpi + gmu)
+        np.add.at(flat, rows_b + c, -gmu)
+        np.add.at(flat, rows_b + e, -gpi)
+        np.add.at(flat, rows_e + b, -(gm - go) - (gpi + gmu))
+        np.add.at(flat, rows_e + c, -go + gmu)
+        np.add.at(flat, rows_e + e, gm + gpi)
+
+    def _stamp_diode(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
+        grp = self.diode_group
+        a, b = grp.np_idx, grp.nn_idx
+        np.add.at(resid, a, ev.current)
+        np.add.at(resid, b, -ev.current)
+        dim = self.size + 1
+        flat = jac.reshape(-1)
+        np.add.at(flat, a * dim + a, ev.gd)
+        np.add.at(flat, a * dim + b, -ev.gd)
+        np.add.at(flat, b * dim + a, -ev.gd)
+        np.add.at(flat, b * dim + b, ev.gd)
+
+    # ------------------------------------------------------------------
+    # Small-signal linearisation and noise
+    # ------------------------------------------------------------------
+    def linearize(self, x_ext: np.ndarray) -> np.ndarray:
+        """Small-signal conductance matrix at operating point ``x_ext``."""
+        jac, _, _ = self.assemble(x_ext, np.zeros(self.size + 1))
+        return jac
+
+    def noise_sources(self, x_ext: np.ndarray) -> list[NoiseSource]:
+        """Enumerate every noise generator at the operating point."""
+        sources: list[NoiseSource] = []
+        kt4 = 4.0 * BOLTZMANN * kelvin(self.temp_c)
+
+        for el in self.circuit:
+            if isinstance(el, Resistor) and el.noisy:
+                sources.append(
+                    NoiseSource(
+                        device=el.name,
+                        mechanism="thermal",
+                        node_a=self.node(el.n1),
+                        node_b=self.node(el.n2),
+                        psd_flat=kt4 / el.value_at(self.temp_c),
+                    )
+                )
+            elif isinstance(el, Switch) and el.noisy and el.closed:
+                sources.append(
+                    NoiseSource(
+                        device=el.name,
+                        mechanism="thermal",
+                        node_a=self.node(el.n1),
+                        node_b=self.node(el.n2),
+                        psd_flat=kt4 / el.ron,
+                    )
+                )
+
+        if self.mos_group is not None:
+            grp = self.mos_group
+            ev = grp.evaluate(x_ext)
+            thermal = grp.thermal_noise_psd(ev)
+            flicker_coeff = grp.kf / (grp.cox * grp.w * grp.l * grp.m) * ev.gm**2
+            for k, name in enumerate(grp.names):
+                sources.append(
+                    NoiseSource(
+                        device=name,
+                        mechanism="thermal",
+                        node_a=int(grp.d[k]),
+                        node_b=int(grp.s[k]),
+                        psd_flat=float(thermal[k]),
+                    )
+                )
+                if flicker_coeff[k] > 0.0:
+                    sources.append(
+                        NoiseSource(
+                            device=name,
+                            mechanism="flicker",
+                            node_a=int(grp.d[k]),
+                            node_b=int(grp.s[k]),
+                            psd_flat=0.0,
+                            psd_flicker=float(flicker_coeff[k]),
+                            af=float(grp.af[k]),
+                        )
+                    )
+
+        if self.bjt_group is not None:
+            grp = self.bjt_group
+            ev = grp.evaluate(x_ext)
+            sic, sib = grp.shot_noise_psd(ev)
+            fl = grp.kf * np.power(np.abs(ev.ib), grp.af)
+            for k, name in enumerate(grp.names):
+                sources.append(
+                    NoiseSource(
+                        device=name,
+                        mechanism="shot_c",
+                        node_a=int(grp.c[k]),
+                        node_b=int(grp.e[k]),
+                        psd_flat=float(sic[k]),
+                    )
+                )
+                sources.append(
+                    NoiseSource(
+                        device=name,
+                        mechanism="shot_b",
+                        node_a=int(grp.b[k]),
+                        node_b=int(grp.e[k]),
+                        psd_flat=float(sib[k]),
+                        psd_flicker=float(fl[k]),
+                        af=float(grp.af[k]),
+                    )
+                )
+
+        if self.diode_group is not None:
+            grp = self.diode_group
+            ev = grp.evaluate(x_ext)
+            shot = grp.shot_noise_psd(ev)
+            for k, name in enumerate(grp.names):
+                sources.append(
+                    NoiseSource(
+                        device=name,
+                        mechanism="shot",
+                        node_a=int(grp.np_idx[k]),
+                        node_b=int(grp.nn_idx[k]),
+                        psd_flat=float(shot[k]),
+                    )
+                )
+        return sources

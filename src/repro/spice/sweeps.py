@@ -1,0 +1,132 @@
+"""Parameter sweeps with solution continuation.
+
+Self-biased circuits (bandgap, bias generators, class-AB loops) have
+degenerate or spurious DC states; jumping straight to an extreme
+temperature or supply can land on the wrong one.  These helpers walk the
+sweep from a trusted anchor point, warm-starting each solve from the
+neighbouring solution — the numeric analogue of slowly turning the knob
+on the bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.spice.dc import NewtonOptions, OperatingPoint, dc_operating_point
+from repro.spice.netlist import Circuit
+
+
+def temperature_sweep(
+    circuit: Circuit,
+    temps_c: np.ndarray,
+    anchor_c: float = 25.0,
+    options: NewtonOptions | None = None,
+    max_step_c: float = 12.0,
+) -> list[OperatingPoint]:
+    """Operating point at each temperature, warm-started outward from the
+    anchor temperature.  Returns points ordered like ``temps_c``.
+
+    Continuation steps are limited to ``max_step_c``: bipolar saturation
+    currents change by orders of magnitude across the consumer range, and
+    a warm start across a 40 K jump can throw Newton into a degenerate
+    equilibrium of a self-biased loop.  Hidden intermediate solves keep
+    each jump small.
+    """
+    temps_c = np.asarray(temps_c, dtype=float)
+    anchor_op = dc_operating_point(circuit, temp_c=anchor_c, options=options)
+
+    def walk(x_from: np.ndarray, t_from: float, t_to: float) -> OperatingPoint:
+        """Solve at t_to via intermediate solves every max_step_c."""
+        n_steps = max(1, int(np.ceil(abs(t_to - t_from) / max_step_c)))
+        x = x_from
+        op = None
+        for k in range(1, n_steps + 1):
+            t_k = t_from + (t_to - t_from) * k / n_steps
+            op = dc_operating_point(circuit, temp_c=float(t_k),
+                                    options=options, x0=x)
+            x = op.x
+        return op
+
+    results: dict[int, OperatingPoint] = {}
+    below = sorted((i for i in range(len(temps_c)) if temps_c[i] <= anchor_c),
+                   key=lambda i: -temps_c[i])
+    above = sorted((i for i in range(len(temps_c)) if temps_c[i] > anchor_c),
+                   key=lambda i: temps_c[i])
+    for chain in (below, above):
+        x_prev = anchor_op.x
+        t_prev = anchor_c
+        for i in chain:
+            op = walk(x_prev, t_prev, float(temps_c[i]))
+            results[i] = op
+            x_prev = op.x
+            t_prev = float(temps_c[i])
+    return [results[i] for i in range(len(temps_c))]
+
+
+def source_value_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: np.ndarray,
+    anchor: float | None = None,
+    temp_c: float = 25.0,
+    options: NewtonOptions | None = None,
+) -> list[OperatingPoint]:
+    """DC sweep of a source value with continuation from an anchor value.
+
+    Unlike :func:`repro.spice.dc.dc_sweep` this returns full operating
+    points and walks outward from ``anchor`` (default: first value).
+    """
+    from repro.spice.elements import CurrentSource, VoltageSource
+
+    el = circuit.element(source_name)
+    if not isinstance(el, (VoltageSource, CurrentSource)):
+        raise TypeError(f"{source_name!r} is not a sweepable source")
+    values = np.asarray(values, dtype=float)
+    anchor_v = float(values[0]) if anchor is None else anchor
+
+    original = el.dc
+    system = circuit.compile(temp_c=temp_c)
+    results: dict[int, OperatingPoint] = {}
+    try:
+        el.dc = anchor_v
+        anchor_op = dc_operating_point(system, options=options)
+        below = sorted((i for i in range(len(values)) if values[i] <= anchor_v),
+                       key=lambda i: -values[i])
+        above = sorted((i for i in range(len(values)) if values[i] > anchor_v),
+                       key=lambda i: values[i])
+        for chain in (below, above):
+            x_prev = anchor_op.x
+            for i in chain:
+                el.dc = float(values[i])
+                op = dc_operating_point(system, options=options, x0=x_prev)
+                results[i] = op
+                x_prev = op.x
+    finally:
+        el.dc = original
+    return [results[i] for i in range(len(values))]
+
+
+def binary_search_threshold(
+    probe: Callable[[float], bool],
+    lo: float,
+    hi: float,
+    tol: float = 1e-3,
+    max_iter: int = 60,
+) -> float:
+    """Find the boundary where ``probe`` flips from True (at ``hi``) to
+    False (at ``lo``); used for compliance/minimum-supply searches."""
+    if not probe(hi):
+        return float("nan")
+    if probe(lo):
+        return lo
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if probe(mid):
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < tol:
+            break
+    return hi

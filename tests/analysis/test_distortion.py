@@ -1,0 +1,110 @@
+"""Distortion measurements: analytic nonlinearities and circuit cross-checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distortion import (
+    StaticTransfer,
+    amplitude_at_thd,
+    measure_static_transfer,
+    static_thd,
+    transient_thd,
+)
+
+
+def cubic_transfer(a3=0.01, span=2.0, points=201):
+    vin = np.linspace(-span, span, points)
+    return StaticTransfer(vin, vin + a3 * vin**3)
+
+
+class TestStaticTransfer:
+    def test_hd3_of_cubic_matches_theory(self):
+        """y = x + a3 x^3 -> HD3 = a3 A^2 / 4 for small a3."""
+        a3, amp = 0.01, 1.0
+        thd = cubic_transfer(a3).thd(amp)
+        assert thd == pytest.approx(a3 * amp**2 / 4.0, rel=0.02)
+
+    def test_hd2_of_quadratic_matches_theory(self):
+        """y = x + a2 x^2 -> HD2 = a2 A / 2."""
+        a2, amp = 0.02, 0.5
+        vin = np.linspace(-2, 2, 201)
+        transfer = StaticTransfer(vin, vin + a2 * vin**2)
+        assert transfer.thd(amp) == pytest.approx(a2 * amp / 2.0, rel=0.02)
+
+    def test_linear_transfer_has_zero_thd(self):
+        vin = np.linspace(-1, 1, 64)
+        transfer = StaticTransfer(vin, 3.0 * vin)
+        assert transfer.thd(0.5) < 1e-9
+
+    def test_thd_grows_with_amplitude(self):
+        transfer = cubic_transfer(0.05)
+        assert transfer.thd(1.5) > transfer.thd(0.5)
+
+    def test_gain_at(self):
+        transfer = cubic_transfer(0.01)
+        assert transfer.gain_at(0.0) == pytest.approx(1.0, rel=0.01)
+        assert transfer.gain_at(1.0) == pytest.approx(1.03, rel=0.02)
+
+    def test_apply_range_checked(self):
+        transfer = cubic_transfer(0.01, span=1.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            transfer.apply(np.array([1.5]))
+
+    def test_output_amplitude(self):
+        transfer = cubic_transfer(0.0, span=2.0)
+        assert transfer.output_amplitude(0.7) == pytest.approx(0.7, rel=1e-3)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            StaticTransfer(np.arange(4.0), np.arange(4.0))
+
+
+class TestAmplitudeSearch:
+    def test_finds_threshold_amplitude(self):
+        a3 = 0.01
+        transfer = cubic_transfer(a3, span=3.0)
+        # THD(A) = a3 A^2/4 = 0.003 -> A = sqrt(0.012/a3)
+        a = amplitude_at_thd(transfer, 0.003, 0.1, 2.5)
+        assert a == pytest.approx(np.sqrt(0.012 / a3), rel=0.02)
+
+    def test_returns_nan_if_floor_too_high(self):
+        transfer = cubic_transfer(0.5, span=3.0)
+        assert np.isnan(amplitude_at_thd(transfer, 1e-6, 1.0, 2.0))
+
+    def test_returns_hi_if_always_clean(self):
+        transfer = cubic_transfer(1e-9, span=3.0)
+        assert amplitude_at_thd(transfer, 0.01, 0.1, 2.0) == pytest.approx(2.0)
+
+
+class TestCircuitMeasurements:
+    def test_static_transfer_of_mic_amp(self, tech):
+        from repro.circuits.micamp import build_mic_amp
+
+        design = build_mic_amp(tech, gain_code=0)
+        transfer = measure_static_transfer(
+            design.circuit, "vin_p", "vin_n", "outp", "outn",
+            amplitude=0.3, points=21,
+        )
+        assert transfer.gain_at(0.0) == pytest.approx(3.162, rel=0.01)
+
+    def test_static_and_transient_thd_agree(self, tech):
+        """The fast path must match the full simulation at voice band."""
+        from repro.circuits.micamp import build_mic_amp
+
+        design = build_mic_amp(tech, gain_code=0)
+        thd_static = static_thd(design.circuit, "vin_p", "vin_n",
+                                "outp", "outn", amplitude=0.4, points=31)
+        thd_tran, wave = transient_thd(design.circuit, "vin_p", "vin_n",
+                                       "outp", "outn", amplitude=0.4,
+                                       cycles=3, points_per_cycle=300)
+        assert wave.peak_to_peak() > 1.0
+        # agreement within a factor ~2 at these tiny distortion levels
+        assert thd_tran == pytest.approx(thd_static, rel=1.0, abs=2e-4)
+
+    def test_transient_thd_restores_sources(self, tech):
+        from repro.circuits.micamp import build_mic_amp
+
+        design = build_mic_amp(tech, gain_code=0)
+        transient_thd(design.circuit, "vin_p", "vin_n", "outp", "outn",
+                      amplitude=0.2, cycles=2, points_per_cycle=200)
+        assert design.circuit.element("vin_p").wave is None

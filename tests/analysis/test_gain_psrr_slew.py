@@ -1,0 +1,117 @@
+"""Gain measurement, PSRR/CMRR, slew-rate drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gain import measure_gain_codes
+from repro.analysis.psrr import measure_cmrr, measure_psrr
+from repro.analysis.slew import measure_slew_rate
+from repro.circuits.micamp import build_mic_amp
+from repro.process.mismatch import MismatchSampler
+
+
+class TestGainMeasurement:
+    @pytest.fixture(scope="class")
+    def gm(self, tech):
+        design = build_mic_amp(tech, gain_code=5)
+        return measure_gain_codes(design)
+
+    def test_all_codes_measured(self, gm):
+        assert gm.codes == list(range(6))
+        assert gm.nominal_db == [10.0, 16.0, 22.0, 28.0, 34.0, 40.0]
+
+    def test_worst_error_within_table1(self, gm):
+        assert gm.worst_error_db <= 0.05
+
+    def test_step_errors_tiny(self, gm):
+        assert gm.worst_step_error_db < 0.05
+
+    def test_format_is_readable(self, gm):
+        text = gm.format()
+        assert "40.0 dB" in text
+        assert text.count("\n") == 6
+
+    def test_restores_gain_code(self, tech):
+        design = build_mic_amp(tech, gain_code=2)
+        measure_gain_codes(design)
+        assert design.gain_code == 2
+
+
+class TestPsrr:
+    def test_nominal_fd_psrr_is_enormous(self, tech):
+        """Perfect matching -> supply ripple is pure common mode."""
+        design = build_mic_amp(tech, gain_code=5)
+        res = measure_psrr(design.circuit, "vdd_src", ("vin_p", "vin_n"),
+                           "outp", "outn")
+        assert res.ratio_db > 120.0
+
+    def test_mismatch_brings_psrr_to_paper_levels(self, tech):
+        sampler = MismatchSampler(tech, np.random.default_rng(7))
+        design = build_mic_amp(tech, gain_code=5, mismatch=sampler)
+        res = measure_psrr(design.circuit, "vdd_src", ("vin_p", "vin_n"),
+                           "outp", "outn")
+        assert 60.0 < res.ratio_db < 140.0
+
+    def test_ac_stimulus_restored(self, tech):
+        design = build_mic_amp(tech, gain_code=5)
+        before = (design.circuit.element("vin_p").ac,
+                  design.circuit.element("vdd_src").ac)
+        measure_psrr(design.circuit, "vdd_src", ("vin_p", "vin_n"),
+                     "outp", "outn")
+        after = (design.circuit.element("vin_p").ac,
+                 design.circuit.element("vdd_src").ac)
+        assert before == after
+
+    def test_rejects_non_source(self, tech):
+        design = build_mic_amp(tech, gain_code=5)
+        with pytest.raises(TypeError):
+            measure_psrr(design.circuit, "rcm_p", ("vin_p", "vin_n"),
+                         "outp", "outn")
+
+
+class TestCmrr:
+    def test_nominal_cmrr_large(self, tech):
+        design = build_mic_amp(tech, gain_code=5)
+        res = measure_cmrr(design.circuit, ("vin_p", "vin_n"), "outp", "outn")
+        assert res.ratio_db > 80.0
+
+    def test_differential_gain_reported(self, tech):
+        design = build_mic_amp(tech, gain_code=5)
+        res = measure_cmrr(design.circuit, ("vin_p", "vin_n"), "outp", "outn")
+        assert res.gain_signal == pytest.approx(100.0, rel=0.05)
+
+
+class TestSlew:
+    def test_rc_limited_circuit(self):
+        """A passive RC has 'slew' = V_step/tau at the step instant."""
+        from repro.spice import Circuit
+
+        ckt = Circuit("rc")
+        ckt.vsource("vin", "a", "gnd", dc=0.0)
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.capacitor("c1", "b", "gnd", 1e-9)
+        res = measure_slew_rate(ckt, "vin", None, "b", None,
+                                step=1.0, duration=10e-6, dt=10e-9)
+        assert res.slew_v_per_s == pytest.approx(1.0 / 1e-6, rel=0.1)
+        assert res.rise_time_s == pytest.approx(2.2e-6, rel=0.1)
+
+    def test_buffer_slew_in_v_per_us_range(self, tech):
+        from repro.circuits.powerbuffer import build_power_buffer
+
+        design = build_power_buffer(tech, feedback="inverting", load="resistive")
+        res = measure_slew_rate(design.circuit, "vsrc_p", "vsrc_n",
+                                "outp", "outn", step=1.0,
+                                duration=20e-6, dt=25e-9)
+        assert 1.0 < res.slew_v_per_s / 1e6 < 50.0
+        assert res.overshoot_frac < 0.3
+
+    def test_no_movement_raises(self):
+        from repro.spice import Circuit
+
+        ckt = Circuit("dead")
+        ckt.vsource("vin", "a", "gnd", dc=0.0)
+        ckt.resistor("r1", "a", "gnd", 1e3)
+        ckt.resistor("r2", "b", "gnd", 1e3)
+        ckt.vsource("vfix", "b", "gnd", dc=0.0)
+        with pytest.raises((ValueError, TypeError)):
+            measure_slew_rate(ckt, "vfix", None, "a", None, step=0.0)

@@ -1,0 +1,119 @@
+"""Fig. 3 fully differential bandgap: value, symmetry, tempco, noise."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.bandgap import build_bandgap, ctat_slope, find_r2_trim
+from repro.spice import dc_operating_point, noise_analysis
+from repro.spice.analysis import log_freqs
+from repro.spice.sweeps import temperature_sweep
+
+#: Trim found once for the module (the Fig. 3 bench re-derives it).
+TRIM = 1.2
+
+
+@pytest.fixture(scope="module")
+def bandgap(tech):
+    return build_bandgap(tech, r2_trim=TRIM)
+
+
+@pytest.fixture(scope="module")
+def bandgap_op(bandgap):
+    return dc_operating_point(bandgap.circuit)
+
+
+class TestOperatingPoint:
+    def test_converges_directly(self, bandgap_op):
+        assert bandgap_op.strategy == "newton"
+
+    def test_reference_values(self, bandgap, bandgap_op):
+        vrefp = bandgap_op.v(bandgap.vrefp)
+        vrefn = bandgap_op.v(bandgap.vrefn)
+        assert vrefp == pytest.approx(0.6, abs=0.06)
+        assert vrefn == pytest.approx(-0.6, abs=0.06)
+
+    def test_symmetry_about_ground(self, bandgap, bandgap_op):
+        """'symmetrical reference voltage of +/-0.6 V around ground'."""
+        vrefp = bandgap_op.v(bandgap.vrefp)
+        vrefn = bandgap_op.v(bandgap.vrefn)
+        assert vrefp + vrefn == pytest.approx(0.0, abs=0.02)
+
+    def test_total_is_a_bandgap_voltage(self, bandgap, bandgap_op):
+        diff = bandgap_op.v(bandgap.vrefp) - bandgap_op.v(bandgap.vrefn)
+        assert 1.1 < diff < 1.3
+
+
+class TestTemperature:
+    def test_tempco_below_40ppm(self, bandgap):
+        """The paper's headline: < +/-40 ppm/degC over the range."""
+        temps = np.linspace(-20, 85, 15)
+        ops = temperature_sweep(bandgap.circuit, temps)
+        vref = np.array([op.v(bandgap.vrefp) - op.v(bandgap.vrefn) for op in ops])
+        box_tc = (vref.max() - vref.min()) / vref.mean() / (temps[-1] - temps[0]) * 1e6
+        assert box_tc < 40.0
+
+    def test_curvature_is_concave(self, bandgap):
+        """First-order cancellation leaves the classic parabola."""
+        temps = np.array([-20.0, 30.0, 85.0])
+        ops = temperature_sweep(bandgap.circuit, temps)
+        vref = np.array([op.v(bandgap.vrefp) - op.v(bandgap.vrefn) for op in ops])
+        assert vref[1] > min(vref[0], vref[2]) - 1e-4
+
+    def test_ctat_slope_negative(self, tech):
+        assert -2.5e-3 < ctat_slope(tech, 20e-6) < -1.2e-3
+
+    def test_trim_finder_converges(self, tech):
+        trim = find_r2_trim(tech, iterations=3)
+        assert 1.0 < trim < 1.5
+
+
+class TestSupply:
+    def test_operates_down_to_2_6v(self, tech):
+        design = build_bandgap(tech, r2_trim=TRIM, supply=2.6)
+        op = dc_operating_point(design.circuit)
+        diff = op.v(design.vrefp) - op.v(design.vrefn)
+        assert diff == pytest.approx(1.2, abs=0.1)
+
+    def test_line_regulation(self, tech):
+        """Line sensitivity stays bounded.  The no-cascode VGS-matched
+        loops see their branch VDS change with supply, which costs a few
+        %/V — the real price of the paper's 'cascoding is not possible'
+        constraint (the front-end runs these from a fixed 2.6 V rail)."""
+        refs = []
+        for supply in (2.6, 3.0):
+            design = build_bandgap(tech, r2_trim=TRIM, supply=supply)
+            op = dc_operating_point(design.circuit)
+            refs.append(op.v(design.vrefp) - op.v(design.vrefn))
+        assert abs(refs[1] - refs[0]) / refs[0] / 0.4 < 0.08
+
+
+class TestNoise:
+    def test_voice_band_noise_below_200nv(self, bandgap, bandgap_op):
+        """Fig. 3 spec: 'average RMS noise voltage is smaller than
+        200 nV/sqrt(Hz) in the voice band'."""
+        # Give the reference an AC "input" for referral: the supply.
+        bandgap.circuit.element("vdd_src").ac = 1.0
+        try:
+            freqs = log_freqs(100.0, 10e3, 10)
+            nr = noise_analysis(bandgap_op, freqs, bandgap.vrefp, bandgap.vrefn)
+            band_avg_nv = nr.average_input_density  # not used; output is the metric
+            psd = nr.output_psd
+            avg_nv = np.sqrt(np.trapezoid(psd, freqs) / (freqs[-1] - freqs[0])) * 1e9
+            assert avg_nv < 200.0
+            _ = band_avg_nv
+        finally:
+            bandgap.circuit.element("vdd_src").ac = 0.0
+
+
+class TestDesignValues:
+    def test_resistor_ratio_matches_zero_tc_condition(self, bandgap, tech):
+        from repro.constants import thermal_voltage
+
+        k_over_q_lnn = thermal_voltage(25.0) / 298.15 * np.log(bandgap.area_ratio)
+        expected_r2 = abs(ctat_slope(tech, bandgap.i_ptat)) * bandgap.r1 / k_over_q_lnn
+        assert bandgap.r2 == pytest.approx(expected_r2 * TRIM, rel=1e-6)
+
+    def test_output_resistor_sets_level(self, bandgap):
+        assert bandgap.r_out * (bandgap.i_ptat + 0.72 / bandgap.r2) == pytest.approx(
+            0.6, rel=0.05
+        )

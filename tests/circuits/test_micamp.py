@@ -1,0 +1,182 @@
+"""Figs. 4/5 microphone amplifier: bias, gain programming, noise, Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.micamp import MicAmpSizes, build_mic_amp
+from repro.spice import ac_analysis, dc_operating_point
+from repro.spice.analysis import log_freqs
+from repro.spice.noise import noise_analysis
+
+
+class TestOperatingPoint:
+    def test_converges_directly(self, mic_amp_op):
+        assert mic_amp_op.strategy == "newton"
+
+    def test_quiescent_current_within_table1(self, mic_amp_op):
+        iq_ma = abs(mic_amp_op.i("vdd_src")) * 1e3
+        assert iq_ma <= 2.6
+
+    def test_every_gain_device_saturated(self, mic_amp_op):
+        assert mic_amp_op.saturation_report() == []
+
+    def test_outputs_at_analogue_ground(self, mic_amp_op):
+        # residual CM offset of the single-stage CMFB loop: tens of mV
+        assert abs(mic_amp_op.v("outp")) < 25e-3
+        assert abs(mic_amp_op.v("outn")) < 25e-3
+
+    def test_input_pairs_share_current_equally(self, mic_amp_op):
+        ids = [abs(mic_amp_op.mos_op(t).ids) for t in ("t1", "t2", "t3", "t4")]
+        assert max(ids) / min(ids) < 1.01
+
+    def test_input_wells_tied_to_source(self, mic_amp_40db):
+        """Sec. 3.2's substrate-noise rule doubles as body-effect removal."""
+        for name in ("t1", "t2", "t3", "t4"):
+            el = mic_amp_40db.circuit.element(name)
+            assert el.b == el.s
+
+    def test_feedback_inputs_have_no_dc_path_current(self, mic_amp_op):
+        """DDA gates draw no current: the taps are unloaded, so the
+        switch Ron causes no gain error (the Fig. 5 design point)."""
+        sw_on = mic_amp_op.mos_op("swa_0")  # code 5: bottom tap switch on
+        assert abs(sw_on.ids) < 1e-9
+
+
+class TestGainProgramming:
+    @pytest.fixture(scope="class")
+    def gains_db(self, tech):
+        design = build_mic_amp(tech, gain_code=0)
+        values = []
+        for code in range(6):
+            design.set_gain_code(code)
+            op = dc_operating_point(design.circuit)
+            ac = ac_analysis(op, np.array([1e3]))
+            values.append(20 * np.log10(abs(ac.vdiff("outp", "outn")[0])))
+        return values
+
+    def test_six_codes_10_to_40_db(self, gains_db):
+        assert len(gains_db) == 6
+        assert gains_db[0] == pytest.approx(10.0, abs=0.1)
+        assert gains_db[-1] == pytest.approx(40.0, abs=0.1)
+
+    def test_absolute_accuracy_005_db(self, gains_db):
+        """Table 1: delta A_cl <= 0.05 dB."""
+        for code, g in enumerate(gains_db):
+            nominal = (10.0, 16.0, 22.0, 28.0, 34.0, 40.0)[code]
+            assert abs(g - nominal) <= 0.05
+
+    def test_steps_are_6_db(self, gains_db):
+        steps = np.diff(gains_db)
+        assert np.allclose(steps, 6.0, atol=0.05)
+
+    def test_monotone(self, gains_db):
+        assert all(b > a for a, b in zip(gains_db, gains_db[1:]))
+
+    def test_ideal_switches_agree_with_mos(self, tech):
+        mos_d = build_mic_amp(tech, gain_code=3, switch_type="mos")
+        ideal_d = build_mic_amp(tech, gain_code=3, switch_type="ideal")
+        results = []
+        for d in (mos_d, ideal_d):
+            op = dc_operating_point(d.circuit)
+            ac = ac_analysis(op, np.array([1e3]))
+            results.append(abs(ac.vdiff("outp", "outn")[0]))
+        assert results[0] == pytest.approx(results[1], rel=1e-3)
+
+    def test_bad_gain_code_rejected(self, tech):
+        with pytest.raises(ValueError, match="out of range"):
+            build_mic_amp(tech, gain_code=6)
+
+    def test_bad_switch_type_rejected(self, tech):
+        with pytest.raises(ValueError, match="switch_type"):
+            build_mic_amp(tech, switch_type="relay")
+
+
+class TestNoise:
+    def test_table1_noise_rows(self, mic_amp_noise):
+        assert mic_amp_noise.input_nv_at(300.0) <= 7.0
+        assert mic_amp_noise.input_nv_at(1e3) <= 6.0
+        avg = mic_amp_noise.average_input_density(300.0, 3400.0) * 1e9
+        assert avg <= 5.1 * 1.3
+
+    def test_average_close_to_paper_value(self, mic_amp_noise):
+        """Shape criterion: within 30 % of 5.1 nV/rtHz."""
+        avg = mic_amp_noise.average_input_density(300.0, 3400.0) * 1e9
+        assert avg == pytest.approx(5.1, rel=0.3)
+
+    def test_noise_rises_at_low_gain_codes(self, tech):
+        """Eq. 4: R_a grows as the gain drops, so input noise grows."""
+        design = build_mic_amp(tech, gain_code=0)
+        op = dc_operating_point(design.circuit)
+        freqs = np.array([10e3])
+        nr_low = noise_analysis(op, freqs, "outp", "outn")
+        design.set_gain_code(5)
+        op = dc_operating_point(design.circuit)
+        nr_high = noise_analysis(op, freqs, "outp", "outn")
+        assert nr_low.input_nv()[0] > nr_high.input_nv()[0]
+
+    def test_two_pairs_cost_3db(self, tech):
+        """Sec. 3.1: 'two identical input pairs contribute 3 dB higher
+        noise than a single-input stage pair'.  Compare the input-device
+        noise share of the full DDA against half of it."""
+        freqs = np.array([20e3])
+        design = build_mic_amp(tech, gain_code=5)
+        op = dc_operating_point(design.circuit)
+        nr = noise_analysis(op, freqs, "outp", "outn")
+        pair_a = sum(
+            float(nr.contributions[(t, "thermal")][0]) for t in ("t1", "t2")
+        )
+        both = sum(
+            float(nr.contributions[(t, "thermal")][0])
+            for t in ("t1", "t2", "t3", "t4")
+        )
+        assert both == pytest.approx(2.0 * pair_a, rel=0.02)  # exactly +3 dB
+
+
+class TestStability:
+    def test_no_peaking_above_code_0(self, tech):
+        design = build_mic_amp(tech, gain_code=1)
+        freqs = log_freqs(1e3, 50e6, 8)
+        for code in range(1, 6):
+            design.set_gain_code(code)
+            op = dc_operating_point(design.circuit)
+            h = np.abs(ac_analysis(op, freqs).vdiff("outp", "outn"))
+            assert h.max() / h[0] < 10 ** (0.5 / 20.0)
+
+    def test_code0_peaking_is_out_of_band(self, tech):
+        design = build_mic_amp(tech, gain_code=0)
+        op = dc_operating_point(design.circuit)
+        freqs = log_freqs(1e3, 50e6, 10)
+        h = np.abs(ac_analysis(op, freqs).vdiff("outp", "outn"))
+        peak_freq = freqs[int(np.argmax(h))]
+        assert peak_freq > 100e3  # far above the 3.4 kHz voice band
+
+    def test_voice_band_flat_at_every_code(self, tech):
+        design = build_mic_amp(tech, gain_code=0)
+        freqs = np.array([300.0, 1e3, 3.4e3])
+        for code in range(6):
+            design.set_gain_code(code)
+            op = dc_operating_point(design.circuit)
+            h = np.abs(ac_analysis(op, freqs).vdiff("outp", "outn"))
+            assert np.ptp(20 * np.log10(h)) < 0.05
+
+
+class TestSupplyRange:
+    def test_works_at_2_6_v(self, tech):
+        design = build_mic_amp(tech, vdd=1.3, vss=-1.3)
+        op = dc_operating_point(design.circuit)
+        ac = ac_analysis(op, np.array([1e3]))
+        assert 20 * np.log10(abs(ac.vdiff("outp", "outn")[0])) == pytest.approx(
+            40.0, abs=0.2
+        )
+
+    def test_rejects_hopeless_supply(self, tech):
+        with pytest.raises(ValueError, match="supply too low"):
+            build_mic_amp(tech, vdd=0.6, vss=-0.6)
+
+
+class TestSizes:
+    def test_custom_sizes_accepted(self, tech):
+        sz = MicAmpSizes(i_stage2=0.3e-3)
+        design = build_mic_amp(tech, sizes=sz)
+        op = dc_operating_point(design.circuit)
+        assert abs(op.mos_op("tp_a").ids) == pytest.approx(0.3e-3, rel=0.1)

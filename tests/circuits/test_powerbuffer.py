@@ -1,0 +1,152 @@
+"""Fig. 8/9 class-AB driver: quiescent control, swing, gain, CM loop."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.powerbuffer import PowerBufferSizes, build_power_buffer
+from repro.spice import ac_analysis, dc_operating_point
+from repro.spice.sweeps import source_value_sweep
+
+
+class TestOperatingPoint:
+    def test_converges_directly(self, buffer_op):
+        assert buffer_op.strategy == "newton"
+
+    def test_iq_within_table2(self, buffer_op):
+        iq_ma = abs(buffer_op.i("vdd_src")) * 1e3
+        assert iq_ma == pytest.approx(3.25, abs=1.0)
+
+    def test_output_quiescent_set_by_translinear_ratio(self, buffer_inverting,
+                                                       buffer_op):
+        sz = buffer_inverting.sizes
+        target = sz.quiescent_ratio * sz.i_ab_bias
+        for side in ("a", "b"):
+            ip = abs(buffer_op.mos_op(f"mpo_{side}").ids)
+            i_n = abs(buffer_op.mos_op(f"mno_{side}").ids)
+            assert ip == pytest.approx(target, rel=0.25)
+            assert i_n == pytest.approx(target, rel=0.25)
+
+    def test_outputs_balanced_at_vbal(self, buffer_op):
+        assert abs(buffer_op.v("outp")) < 0.02
+        assert abs(buffer_op.v("outn")) < 0.02
+
+    def test_ab_head_devices_conduct(self, buffer_op):
+        assert abs(buffer_op.mos_op("mnab_a").ids) > 10e-6
+        assert abs(buffer_op.mos_op("mpab_a").ids) > 10e-6
+
+
+class TestClosedLoopGain:
+    def test_inverting_unity(self, buffer_op):
+        ac = ac_analysis(buffer_op, np.array([1e3]))
+        assert abs(ac.vdiff("outp", "outn")[0]) == pytest.approx(1.0, abs=0.05)
+
+    def test_gain_follows_resistor_ratio(self, tech):
+        design = build_power_buffer(tech, feedback="inverting",
+                                    load="resistive", r_in=10e3, r_fb=20e3)
+        op = dc_operating_point(design.circuit)
+        ac = ac_analysis(op, np.array([1e3]))
+        assert abs(ac.vdiff("outp", "outn")[0]) == pytest.approx(2.0, rel=0.05)
+
+    def test_signal_dependent_gain_of_paper(self, tech):
+        """Sec. 4: 'signal dependent gain (5 % over the full range)'.
+        The incremental gain droops toward the swing extremes but stays
+        within ~5 %."""
+        design = build_power_buffer(tech, feedback="inverting", load="resistive")
+        from repro.analysis.distortion import measure_static_transfer
+
+        transfer = measure_static_transfer(
+            design.circuit, "vsrc_p", "vsrc_n", "outp", "outn",
+            amplitude=1.6, points=33,
+        )
+        g0 = transfer.gain_at(0.0)
+        g_edge = transfer.gain_at(0.7)
+        droop = abs(g_edge - g0) / g0
+        assert droop < 0.08
+
+    def test_feedback_modes_validated(self, tech):
+        with pytest.raises(ValueError, match="feedback"):
+            build_power_buffer(tech, feedback="bootstrap")
+        with pytest.raises(ValueError, match="load"):
+            build_power_buffer(tech, load="speaker")
+
+
+class TestOutputSwing:
+    def test_eq8_output_reaches_near_rails(self, tech):
+        """Eq. 8: the common-source output runs to within sqrt(I/beta)
+        of each rail."""
+        design = build_power_buffer(tech, feedback="inverting", load="resistive")
+        levels = np.linspace(-2.0, 2.0, 17)
+        ops = source_value_sweep(design.circuit, "vsrc_p", levels, anchor=0.0)
+        # drive only one source: differential input = level, gain -1
+        outs = np.array([op.v("outp") - op.v("outn") for op in ops])
+        assert outs.max() > 1.8   # each side within ~0.35 V of its rail
+        assert outs.min() < -1.8
+
+    def test_hd_ordering_of_table2(self, tech):
+        """V_omax(0.3 % HD) < V_omax(0.6 % HD): distortion grows with
+        swing, so the tighter HD spec gives less swing."""
+        from repro.analysis.distortion import amplitude_at_thd, measure_static_transfer
+
+        design = build_power_buffer(tech, feedback="inverting", load="resistive")
+        tr = measure_static_transfer(design.circuit, "vsrc_p", "vsrc_n",
+                                     "outp", "outn", amplitude=3.2, points=41)
+        a06 = amplitude_at_thd(tr, 0.006, 0.3, 3.0)
+        a03 = amplitude_at_thd(tr, 0.003, 0.3, 3.0)
+        assert a03 <= a06
+
+
+class TestCommonMode:
+    def test_output_cm_tracks_vbal(self, tech):
+        """'the common mode output voltage is very close to the input
+        balance voltage connected to the gate of transistor T4'."""
+        for vbal in (-0.2, 0.0, 0.2):
+            design = build_power_buffer(tech, feedback="inverting",
+                                        load="resistive", vbal=vbal)
+            op = dc_operating_point(design.circuit)
+            vcm = 0.5 * (op.v("outp") + op.v("outn"))
+            assert vcm == pytest.approx(vbal, abs=0.05)
+
+    def test_even_harmonics_cancelled(self, tech):
+        """FD symmetry: HD2 vanishes nominally (the Fig. 11 spectrum)."""
+        from repro.analysis.distortion import measure_static_transfer
+
+        design = build_power_buffer(tech, feedback="inverting", load="resistive",
+                                    vdd=1.5, vss=-1.5)
+        tr = measure_static_transfer(design.circuit, "vsrc_p", "vsrc_n",
+                                     "outp", "outn", amplitude=2.2, points=41)
+        # distortion of +A and -A inputs must mirror: odd symmetry
+        out_pos = np.interp(+1.5, tr.vin, tr.vout)
+        out_neg = np.interp(-1.5, tr.vin, tr.vout)
+        assert out_pos == pytest.approx(-out_neg, rel=1e-3)
+
+
+class TestSupplyAndSizes:
+    def test_runs_from_2_6_to_5_v(self, tech):
+        for vsup in (2.6, 5.0):
+            design = build_power_buffer(tech, feedback="inverting",
+                                        load="resistive",
+                                        vdd=vsup / 2, vss=-vsup / 2)
+            op = dc_operating_point(design.circuit)
+            assert abs(op.v("outp")) < 0.05
+
+    def test_iq_stays_controlled_over_supply(self, tech):
+        """The translinear loop holds IQ roughly constant 2.8..5 V (the
+        paper claims 15 %)."""
+        iqs = []
+        for vsup in (2.8, 4.0, 5.0):
+            design = build_power_buffer(tech, feedback="inverting",
+                                        load="resistive",
+                                        vdd=vsup / 2, vss=-vsup / 2)
+            op = dc_operating_point(design.circuit)
+            iqs.append(abs(op.i("vdd_src")))
+        spread = (max(iqs) - min(iqs)) / np.mean(iqs)
+        assert spread < 0.35
+
+    def test_custom_sizes(self, tech):
+        sz = PowerBufferSizes(quiescent_ratio=10)
+        design = build_power_buffer(tech, sizes=sz, feedback="inverting",
+                                    load="resistive")
+        op = dc_operating_point(design.circuit)
+        assert abs(op.mos_op("mpo_a").ids) == pytest.approx(
+            10 * sz.i_ab_bias, rel=0.3
+        )

@@ -1,0 +1,84 @@
+"""Behavioural sigma-delta modulator and decimator."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.decimator import decimated_snr, sinc3_decimate, sinc3_kernel
+from repro.frontend.sigma_delta import SigmaDeltaModulator, sigma_delta_snr
+
+
+class TestModulator:
+    def test_output_is_binary(self):
+        mod = SigmaDeltaModulator()
+        bits = mod.run(0.3 * np.sin(np.linspace(0, 20, 4096)))
+        assert set(np.unique(bits)) <= {-1.0, 1.0}
+
+    def test_dc_tracking(self):
+        """Mean of the bitstream equals the DC input."""
+        mod = SigmaDeltaModulator()
+        for level in (-0.5, 0.0, 0.4):
+            bits = mod.run(np.full(1 << 14, level))
+            assert np.mean(bits) == pytest.approx(level, abs=0.01)
+
+    def test_overload_rejected(self):
+        mod = SigmaDeltaModulator()
+        with pytest.raises(ValueError, match="full scale"):
+            mod.run(np.array([1.2]))
+
+    def test_snr_of_second_order_at_osr128(self):
+        """2nd order, OSR 128: > 80 dB in the voice band at -6 dBFS."""
+        mod = SigmaDeltaModulator()
+        snr = sigma_delta_snr(mod, amplitude=0.5, f_signal=1e3,
+                              f_sample=128 * 8e3, n_samples=1 << 15)
+        assert snr > 80.0
+
+    def test_noise_shaping_pushes_noise_up_in_frequency(self):
+        mod = SigmaDeltaModulator()
+        rng = np.random.default_rng(5)
+        n = 1 << 14
+        fs = 1.024e6
+        x = 0.4 * np.sin(2 * np.pi * 4e3 * np.arange(n) / fs)
+        bits = mod.run(x + rng.normal(0, 1e-5, n))
+        spec = np.abs(np.fft.rfft(bits * np.hanning(n))) ** 2
+        freqs = np.fft.rfftfreq(n, 1 / fs)
+        low = spec[(freqs > 6e3) & (freqs < 20e3)].mean()
+        high = spec[(freqs > 200e3) & (freqs < 400e3)].mean()
+        assert high > 100.0 * low
+
+    def test_snr_improves_with_signal_level(self):
+        mod = SigmaDeltaModulator()
+        low = sigma_delta_snr(mod, 0.05, 1e3, 1.024e6, n_samples=1 << 14)
+        high = sigma_delta_snr(mod, 0.5, 1e3, 1.024e6, n_samples=1 << 14)
+        assert high > low + 10.0
+
+
+class TestDecimator:
+    def test_kernel_dc_gain_is_unity(self):
+        kernel = sinc3_kernel(64)
+        assert kernel.sum() == pytest.approx(1.0, rel=1e-9)
+
+    def test_kernel_length(self):
+        assert len(sinc3_kernel(8)) == 3 * 8 - 2
+
+    def test_rate_reduction(self):
+        bits = np.ones(1024)
+        pcm = sinc3_decimate(bits, 32)
+        assert len(pcm) == len(np.convolve(bits, sinc3_kernel(32), "valid")[::32])
+        assert np.allclose(pcm, 1.0)
+
+    def test_rejects_tiny_osr(self):
+        with pytest.raises(ValueError):
+            sinc3_kernel(1)
+
+    def test_end_to_end_snr(self):
+        """Modulate + decimate a -6 dBFS tone: voice-band SNR > 75 dB."""
+        mod = SigmaDeltaModulator()
+        fs = 128 * 8e3
+        n = 1 << 15
+        f_tone = 1e3 * round(1e3 * n / fs) * fs / n / 1e3  # coherent-ish
+        rng = np.random.default_rng(11)
+        x = 0.5 * np.sin(2 * np.pi * f_tone * np.arange(n) / fs)
+        bits = mod.run(x + rng.normal(0, 1e-5, n))
+        pcm = sinc3_decimate(bits, 128)
+        snr = decimated_snr(pcm, f_tone, 8e3)
+        assert snr > 75.0

@@ -1,0 +1,80 @@
+"""Fig. 1 system chain: PGA + sigma-delta + psophometric S/N."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.voice_chain import VoiceChain, synthesize_noise
+
+
+class TestNoiseSynthesis:
+    def test_psd_roundtrip(self, rng):
+        """Synthesised noise reproduces the requested PSD."""
+        freqs = np.array([10.0, 100.0, 1e3, 10e3, 100e3])
+        target = 1e-12  # flat 1 uV/rtHz
+        psd = np.full_like(freqs, target)
+        fs = 1.024e6
+        n = 1 << 16
+        x = synthesize_noise(freqs, psd, n, fs, rng)
+        measured_var = np.var(x)
+        expected_var = target * fs / 2  # integrate flat PSD to Nyquist
+        assert measured_var == pytest.approx(expected_var, rel=0.1)
+
+    def test_colored_noise_has_more_lf_power(self, rng):
+        freqs = np.logspace(1, 5, 40)
+        psd = 1e-12 * (1.0 + 1e3 / freqs)  # 1/f + floor
+        x = synthesize_noise(freqs, psd, 1 << 15, 1.024e6, rng)
+        spec = np.abs(np.fft.rfft(x)) ** 2
+        f = np.fft.rfftfreq(1 << 15, 1 / 1.024e6)
+        low = spec[(f > 20) & (f < 200)].mean()
+        high = spec[(f > 20e3) & (f < 200e3)].mean()
+        assert low > 3.0 * high
+
+
+class TestVoiceChain:
+    def test_noiseless_reference_run(self):
+        chain = VoiceChain()
+        res = chain.run(code=5, mic_rms=4e-3)
+        assert res.gain_db == 40.0
+        assert res.signal_at_modulator_rms == pytest.approx(0.4, rel=1e-6)
+        assert res.snr_db > 70.0
+        assert not res.clipped
+
+    def test_clipping_flagged(self):
+        chain = VoiceChain()
+        res = chain.run(code=5, mic_rms=10e-3)  # 1 Vrms at modulator: clips
+        assert res.clipped
+
+    def test_gain_code_tradeoff(self):
+        """The hands-free story: a quiet microphone needs the high gain
+        code; a loud one must back off to avoid clipping."""
+        chain = VoiceChain()
+        quiet = chain.sweep_codes(mic_rms=2e-3)
+        snrs = [r.snr_db for r in quiet]
+        assert np.argmax(snrs) >= 4  # best at the high-gain end
+        loud = chain.sweep_codes(mic_rms=120e-3)
+        assert loud[-1].clipped
+        assert not loud[0].clipped
+
+    def test_amplifier_noise_costs_snr(self, mic_amp_noise):
+        """Feeding the PGA's measured noise in must reduce the chain SNR."""
+        chain = VoiceChain()
+        clean = chain.run(5, 4e-3)
+        noisy = chain.run(5, 4e-3, mic_amp_noise.freqs, mic_amp_noise.input_psd)
+        assert noisy.snr_psophometric_db < clean.snr_psophometric_db
+
+    def test_eq2_closure(self, mic_amp_noise):
+        """THE system result: with the measured amplifier noise at 40 dB
+        and a -6 dBFS tone (2nd-order modulators overload above ~-3 dBFS)
+        the psophometric S/N sits in the high 70s/low 80s — consistent
+        with Eq. 2's 86.5 dB *amplifier* budget once the modulator's own
+        quantisation floor is stacked on top.  The amplifier-only margin
+        (~88 dB) is checked in the Table 1 characterisation."""
+        chain = VoiceChain()
+        res = chain.run(5, 3.0e-3, mic_amp_noise.freqs, mic_amp_noise.input_psd)
+        assert res.snr_psophometric_db > 76.0
+        assert not res.clipped
+
+    def test_requires_freqs_with_psd(self):
+        chain = VoiceChain()
+        with pytest.raises(ValueError):
+            chain.run(5, 1e-3, None, np.array([1e-18]))

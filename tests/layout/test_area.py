@@ -1,0 +1,49 @@
+"""Area model (Figs. 6 and 10)."""
+
+import pytest
+
+from repro.layout.area import estimate_area_mm2, estimate_mic_amp_area_mm2
+from repro.spice import Circuit
+
+
+class TestAreaModel:
+    def test_mic_amp_near_paper_1_1_mm2(self, mic_amp_40db):
+        """Fig. 6: the paper reports 1.1 mm^2; the model should land in
+        the same regime (the big input devices + compensation caps)."""
+        area = estimate_mic_amp_area_mm2(mic_amp_40db)
+        assert 0.5 < area < 2.0
+
+    def test_input_devices_dominate_mos_area(self, mic_amp_40db, tech):
+        bd = estimate_area_mm2(mic_amp_40db.circuit, tech)
+        input_area = sum(bd.per_device[t] for t in ("t1", "t2", "t3", "t4"))
+        assert input_area > 0.4 * bd.mosfets
+
+    def test_external_load_caps_excluded(self, tech):
+        ckt = Circuit("c")
+        ckt.capacitor("cload", "a", "gnd", 100e-9)  # external 100 nF
+        ckt.capacitor("cc", "a", "gnd", 10e-12)     # on-chip 10 pF
+        bd = estimate_area_mm2(ckt, tech)
+        assert "cload" not in bd.per_device
+        assert "cc" in bd.per_device
+
+    def test_startup_and_tie_resistors_excluded(self, tech):
+        ckt = Circuit("c")
+        ckt.resistor("rstart", "a", "b", 3.3e6)
+        ckt.resistor("rtie", "b", "c", 1.0, noisy=False)
+        ckt.resistor("rpoly", "c", "gnd", 10e3)
+        bd = estimate_area_mm2(ckt, tech)
+        assert list(bd.per_device) == ["rpoly"]
+
+    def test_breakdown_totals(self, mic_amp_40db, tech):
+        bd = estimate_area_mm2(mic_amp_40db.circuit, tech)
+        assert bd.raw_um2 == pytest.approx(
+            bd.mosfets + bd.resistors + bd.capacitors
+        )
+        assert bd.total_um2 == pytest.approx(bd.raw_um2 * bd.overhead_factor)
+        assert "mm^2" in bd.format()
+
+    def test_buffer_smaller_than_mic_amp(self, mic_amp_40db, buffer_inverting, tech):
+        """Fig. 10 vs Fig. 6: the buffer has no giant low-noise devices."""
+        mic = estimate_area_mm2(mic_amp_40db.circuit, tech).total_mm2
+        buf = estimate_area_mm2(buffer_inverting.circuit, tech).total_mm2
+        assert buf < mic

@@ -1,0 +1,72 @@
+"""Common-centroid placement and gradient immunity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout.common_centroid import (
+    Placement,
+    common_centroid_pattern,
+    gradient_imbalance,
+    interdigitated_pattern,
+    worst_gradient_imbalance,
+)
+
+
+class TestPatterns:
+    def test_cross_coupled_quad_has_zero_imbalance(self):
+        p = common_centroid_pattern(2, 4)
+        assert worst_gradient_imbalance(p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_two_by_two_quad(self):
+        p = common_centroid_pattern(2, 2)
+        assert gradient_imbalance(p, (1, 0)) == pytest.approx(0.0, abs=1e-12)
+        assert gradient_imbalance(p, (0, 1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_naive_side_by_side_has_imbalance(self):
+        """The layout the paper's rules forbid: A A B B."""
+        naive = Placement(np.array([[0, 0, 1, 1]]), 2)
+        assert gradient_imbalance(naive, (0, 1)) == pytest.approx(2.0)
+
+    def test_interdigitated_abba(self):
+        p = interdigitated_pattern(2, 2)
+        assert p.grid.tolist() == [[0, 1, 1, 0]]
+        assert gradient_imbalance(p, (0, 1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_interdigitated_beats_naive(self):
+        naive = Placement(np.array([[0] * 4 + [1] * 4]), 2)
+        inter = interdigitated_pattern(2, 4)
+        assert (gradient_imbalance(inter, (0, 1))
+                < gradient_imbalance(naive, (0, 1)))
+
+    def test_general_pattern_covers_all_devices(self):
+        p = common_centroid_pattern(4, 4)
+        for d in range(4):
+            assert len(p.units_of(d)) == 4
+
+    @given(n=st.integers(min_value=2, max_value=5),
+           units=st.sampled_from([2, 4, 6]))
+    @settings(max_examples=15, deadline=None)
+    def test_mirrored_blocks_cancel_gradients(self, n, units):
+        p = common_centroid_pattern(n, units)
+        assert worst_gradient_imbalance(p) < 1e-9
+
+
+class TestValidation:
+    def test_grid_must_reference_all_devices(self):
+        with pytest.raises(ValueError, match="expected"):
+            Placement(np.array([[0, 0, 0, 0]]), 2)
+
+    def test_odd_units_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            common_centroid_pattern(2, 3)
+
+    def test_zero_direction_rejected(self):
+        p = common_centroid_pattern(2, 4)
+        with pytest.raises(ValueError):
+            gradient_imbalance(p, (0.0, 0.0))
+
+    def test_centroid_of_missing_device(self):
+        p = common_centroid_pattern(2, 4)
+        with pytest.raises(ValueError):
+            p.centroid(7)

@@ -1,0 +1,98 @@
+"""The executable Sec. 3.2 sizing methodology."""
+
+import pytest
+
+from repro.analysis.dynamic_range import VoiceBandBudget
+from repro.circuits.micamp import MicAmpSizes
+from repro.pga.design import (
+    BudgetSplit,
+    derive_mic_amp_sizing,
+    gain_control_for_sizing,
+    sizing_to_mic_amp_sizes,
+)
+
+
+class TestSizingWalk:
+    @pytest.fixture(scope="class")
+    def sizing(self, tech):
+        return derive_mic_amp_sizing(tech)
+
+    def test_target_is_eq2(self, sizing):
+        assert sizing.target_density * 1e9 == pytest.approx(5.1, abs=0.05)
+
+    def test_predicted_meets_target_with_margin(self, sizing):
+        assert sizing.predicted_avg_nv <= sizing.target_density * 1e9 * 1.05
+
+    def test_input_gm_in_millisiemens_range(self, sizing):
+        """The headline requirement lands at a few mS per device."""
+        assert 2e-3 < sizing.gm_input < 8e-3
+
+    def test_derived_sizes_near_shipped_defaults(self, sizing):
+        """The shipped MicAmpSizes follow from the methodology (within
+        engineering rounding)."""
+        defaults = MicAmpSizes()
+        assert sizing.w_over_l_input == pytest.approx(
+            defaults.w_input / defaults.l_input, rel=0.5
+        )
+        assert sizing.r_a_max == pytest.approx(250.0, rel=0.5)
+        assert sizing.r_switch_on == pytest.approx(defaults.r_switch_on, rel=0.7)
+
+    def test_gate_area_large(self, sizing):
+        """'A relatively large area ... [is] needed to achieve the noise
+        requirements': tens of thousands of square microns per device."""
+        assert sizing.gate_area_input_um2 > 10e3
+
+    def test_load_gm_below_input_gm(self, sizing):
+        assert sizing.gm_load < 0.8 * sizing.gm_input
+
+    def test_conversion_helpers(self, sizing):
+        sizes = sizing_to_mic_amp_sizes(sizing)
+        assert sizes.w_input == pytest.approx(sizing.w_input)
+        gc = gain_control_for_sizing(sizing)
+        assert gc.r_total == pytest.approx(sizing.r_total)
+
+
+class TestBudgetSplit:
+    def test_default_split_sums_below_one(self):
+        assert BudgetSplit().total() <= 1.0
+
+    def test_oversubscribed_split_rejected(self, tech):
+        bad = BudgetSplit(input_thermal=0.9, load_thermal=0.5)
+        with pytest.raises(ValueError, match="budget split"):
+            derive_mic_amp_sizing(tech, split=bad)
+
+    def test_tighter_spec_needs_more_gm(self, tech):
+        loose = derive_mic_amp_sizing(tech, budget=VoiceBandBudget(snr_db=80.0))
+        tight = derive_mic_amp_sizing(tech, budget=VoiceBandBudget(snr_db=90.0))
+        assert tight.gm_input > loose.gm_input
+
+    def test_twelve_bit_variant_is_smaller(self, tech):
+        """A 12-bit front-end (the 'extension' use case) needs an order
+        of magnitude less gm and area."""
+        twelve_bit = VoiceBandBudget(snr_db=74.0)
+        sizing = derive_mic_amp_sizing(tech, budget=twelve_bit)
+        nominal = derive_mic_amp_sizing(tech)
+        assert sizing.gm_input < 0.2 * nominal.gm_input
+        assert sizing.r_a_max > 3.0 * nominal.r_a_max
+
+
+class TestBuiltFromSizing(object):
+    def test_derived_amp_meets_derived_target(self, tech):
+        """Close the loop: build an amplifier from the sizing walk and
+        verify its simulated noise meets the analytic prediction."""
+        import numpy as np
+
+        from repro.circuits.micamp import build_mic_amp
+        from repro.spice.analysis import log_freqs
+        from repro.spice.dc import dc_operating_point
+        from repro.spice.noise import noise_analysis
+
+        sizing = derive_mic_amp_sizing(tech)
+        sizes = sizing_to_mic_amp_sizes(sizing)
+        gc = gain_control_for_sizing(sizing)
+        design = build_mic_amp(tech, gain_code=gc.num_codes - 1,
+                               sizes=sizes, gain=gc)
+        op = dc_operating_point(design.circuit)
+        nr = noise_analysis(op, log_freqs(100, 50e3, 8), "outp", "outn")
+        measured = nr.average_input_density(300, 3400) * 1e9
+        assert measured == pytest.approx(sizing.predicted_avg_nv, rel=0.3)

@@ -1,0 +1,83 @@
+"""Spec tables and compliance reports."""
+
+import pytest
+
+from repro.pga.specs import (
+    Bound,
+    MIC_AMP_SPEC,
+    POWER_BUFFER_SPEC,
+    Spec,
+    SpecLimit,
+)
+
+
+class TestBounds:
+    def test_min(self):
+        limit = SpecLimit("m", Bound.MIN, 10.0, "x")
+        assert limit.check(11.0) and not limit.check(9.0)
+
+    def test_max(self):
+        limit = SpecLimit("m", Bound.MAX, 10.0, "x")
+        assert limit.check(9.0) and not limit.check(11.0)
+
+    def test_abs_max(self):
+        limit = SpecLimit("m", Bound.ABS_MAX, 0.05, "dB")
+        assert limit.check(-0.04) and not limit.check(-0.06)
+
+    def test_range(self):
+        limit = SpecLimit("m", Bound.RANGE, (1.0, 2.0), "x")
+        assert limit.check(1.5) and not limit.check(2.5)
+
+    def test_info_never_fails(self):
+        limit = SpecLimit("m", Bound.INFO, 0.0, "x")
+        assert limit.check(1e9)
+
+
+class TestReports:
+    def test_passing_report(self):
+        spec = Spec("demo", (SpecLimit("a", Bound.MAX, 1.0, "V"),))
+        report = spec.check({"a": 0.5})
+        assert report.passed
+        assert "PASS" in report.format()
+
+    def test_failing_report_lists_failures(self):
+        spec = Spec("demo", (SpecLimit("a", Bound.MAX, 1.0, "V"),
+                             SpecLimit("b", Bound.MIN, 1.0, "V")))
+        report = spec.check({"a": 2.0, "b": 2.0})
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert report.failures[0].limit.metric == "a"
+
+    def test_missing_metric_skipped_by_default(self):
+        spec = Spec("demo", (SpecLimit("a", Bound.MAX, 1.0, "V"),))
+        report = spec.check({})
+        assert report.rows == []
+        assert report.passed  # vacuous
+
+    def test_missing_metric_strict_raises(self):
+        spec = Spec("demo", (SpecLimit("a", Bound.MAX, 1.0, "V"),))
+        with pytest.raises(KeyError):
+            spec.check({}, strict=True)
+
+
+class TestPaperTables:
+    def test_table1_has_the_paper_rows(self):
+        metrics = {l.metric for l in MIC_AMP_SPEC.limits}
+        assert {"snr_40db_db", "vnin_300hz_nv", "vnin_1khz_nv", "vnin_avg_nv",
+                "hd_0v2_db", "gain_error_db", "psrr_1khz_db", "iq_ma"} <= metrics
+
+    def test_table2_has_the_paper_rows(self):
+        metrics = {l.metric for l in POWER_BUFFER_SPEC.limits}
+        assert {"iq_ma", "psrr_1khz_db", "slew_v_per_us",
+                "vomax_margin_hd06_mv", "vomax_margin_hd03_mv"} <= metrics
+
+    def test_table1_noise_limits_match_paper(self):
+        by_name = {l.metric: l for l in MIC_AMP_SPEC.limits}
+        assert by_name["vnin_300hz_nv"].limit == 7.0
+        assert by_name["vnin_1khz_nv"].limit == 6.0
+        assert by_name["iq_ma"].limit == 2.6
+
+    def test_table2_iq_range_centred_on_3_25(self):
+        by_name = {l.metric: l for l in POWER_BUFFER_SPEC.limits}
+        lo, hi = by_name["iq_ma"].limit
+        assert (lo + hi) / 2 == pytest.approx(3.25)

@@ -1,0 +1,51 @@
+"""Process corners."""
+
+import pytest
+
+from repro.process import CMOS12, CORNERS, apply_corner
+
+
+class TestCorners:
+    def test_five_corners_defined(self):
+        assert set(CORNERS) == {"tt", "ff", "ss", "fs", "sf"}
+
+    def test_tt_is_identity(self):
+        t = apply_corner(CMOS12, "tt")
+        assert t.nmos.vth0 == CMOS12.nmos.vth0
+        assert t.nmos.kp == CMOS12.nmos.kp
+
+    def test_ff_faster_ss_slower(self):
+        ff = apply_corner(CMOS12, "ff")
+        ss = apply_corner(CMOS12, "ss")
+        assert ff.nmos.vth0 < CMOS12.nmos.vth0 < ss.nmos.vth0
+        assert ff.nmos.kp > CMOS12.nmos.kp > ss.nmos.kp
+
+    def test_cross_corners_skew_flavours_oppositely(self):
+        fs = apply_corner(CMOS12, "fs")
+        assert fs.nmos.vth0 < CMOS12.nmos.vth0
+        assert fs.pmos.vth0 > CMOS12.pmos.vth0
+
+    def test_resistors_and_bjt_skewed(self):
+        ss = apply_corner(CMOS12, "ss")
+        assert ss.poly.sheet_ohm > CMOS12.poly.sheet_ohm
+        assert ss.vpnp.is_sat < CMOS12.vpnp.is_sat
+
+    def test_name_annotated(self):
+        assert apply_corner(CMOS12, "ff").name.endswith("-ff")
+
+    def test_unknown_corner_raises(self):
+        with pytest.raises(KeyError, match="unknown corner"):
+            apply_corner(CMOS12, "tturbo")
+
+    def test_corner_changes_circuit_current(self, tech):
+        """A simple mirror delivers more current at ff than ss."""
+        from repro.circuits.library import build_simple_mirror_cell
+        from repro.spice import dc_operating_point
+
+        results = {}
+        for corner in ("ff", "ss"):
+            cell = build_simple_mirror_cell(apply_corner(tech, corner))
+            op = dc_operating_point(cell.circuit)
+            results[corner] = op.mos_op("mn1").vgs
+        # same current forced, so the slow corner needs more gate drive
+        assert results["ss"] > results["ff"]

@@ -1,0 +1,86 @@
+"""Pelgrom mismatch model and Monte Carlo sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.process import CMOS12, MismatchSampler
+from repro.process.mismatch import PelgromModel
+
+
+class TestPelgrom:
+    def test_sigma_scales_inverse_sqrt_area(self):
+        model = PelgromModel(avt_mv_um=20.0, abeta_pct_um=2.0)
+        s1 = model.sigma_vt(10e-6, 10e-6)
+        s2 = model.sigma_vt(20e-6, 20e-6)
+        assert s1 / s2 == pytest.approx(2.0, rel=1e-9)
+
+    def test_known_value(self):
+        """AVT=20 mV.um at 100 um^2 -> pair sigma 2 mV, device ~1.41 mV."""
+        model = PelgromModel(avt_mv_um=20.0, abeta_pct_um=2.0)
+        assert model.sigma_vt(10e-6, 10e-6) * np.sqrt(2.0) == pytest.approx(
+            2e-3, rel=1e-6
+        )
+
+    @given(w=st.floats(min_value=1e-6, max_value=1e-3),
+           l=st.floats(min_value=1e-6, max_value=1e-4))
+    @settings(max_examples=25, deadline=None)
+    def test_sigma_positive_and_finite(self, w, l):
+        model = PelgromModel(avt_mv_um=20.0, abeta_pct_um=2.0)
+        assert 0.0 < model.sigma_vt(w, l) < 0.1
+        assert 0.0 < model.sigma_beta(w, l) < 1.0
+
+
+class TestSampler:
+    def test_nominal_sampler_returns_zero(self, tech):
+        sampler = MismatchSampler.nominal(tech)
+        assert sampler.mos_deltas("nmos", 10e-6, 10e-6) == (0.0, 0.0)
+        assert sampler.resistor_delta(1e3) == 0.0
+        assert sampler.bjt_is_delta() == 0.0
+
+    def test_sampling_statistics(self, tech, rng):
+        sampler = MismatchSampler(tech, rng)
+        w, l = 20e-6, 20e-6
+        draws = np.array([sampler.mos_deltas("nmos", w, l)[0] for _ in range(3000)])
+        expected = tech.matching.avt_nmos_mv_um * 1e-3 / 20.0 / np.sqrt(2.0)
+        assert draws.mean() == pytest.approx(0.0, abs=3 * expected / np.sqrt(3000))
+        assert draws.std() == pytest.approx(expected, rel=0.1)
+
+    def test_pmos_uses_pmos_coefficient(self, tech):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        s_n = MismatchSampler(tech, rng_a).mos_deltas("nmos", 10e-6, 10e-6)[0]
+        s_p = MismatchSampler(tech, rng_b).mos_deltas("pmos", 10e-6, 10e-6)[0]
+        # same unit normal scaled by different AVT
+        ratio = tech.matching.avt_pmos_mv_um / tech.matching.avt_nmos_mv_um
+        assert s_p / s_n == pytest.approx(ratio, rel=1e-9)
+
+    def test_resistor_delta_shrinks_with_value(self, tech, rng):
+        """Larger resistance -> more squares -> more area -> better match."""
+        sampler = MismatchSampler(tech, rng)
+        small = np.std([sampler.resistor_delta(100.0) for _ in range(500)])
+        large = np.std([sampler.resistor_delta(100e3) for _ in range(500)])
+        assert large < small
+
+    def test_reproducibility_with_seeded_rng(self, tech):
+        a = MismatchSampler(tech, np.random.default_rng(42)).mos_deltas("nmos", 1e-5, 1e-5)
+        b = MismatchSampler(tech, np.random.default_rng(42)).mos_deltas("nmos", 1e-5, 1e-5)
+        assert a == b
+
+
+class TestMismatchInCircuits:
+    def test_offset_appears_with_mismatch(self, tech):
+        """A mismatched mic amp shows input offset; nominal shows none."""
+        from repro.circuits.micamp import build_mic_amp
+        from repro.spice import dc_operating_point
+
+        nominal = build_mic_amp(tech, gain_code=5)
+        op_nom = dc_operating_point(nominal.circuit)
+        offset_nom = abs(op_nom.vdiff("outp", "outn"))
+
+        sampler = MismatchSampler(tech, np.random.default_rng(3))
+        skewed = build_mic_amp(tech, gain_code=5, mismatch=sampler)
+        op_mc = dc_operating_point(skewed.circuit)
+        offset_mc = abs(op_mc.vdiff("outp", "outn"))
+        assert offset_nom < 1e-3
+        assert offset_mc > offset_nom

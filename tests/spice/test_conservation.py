@@ -1,0 +1,146 @@
+"""Conservation-law property tests on randomly generated networks.
+
+These attack the MNA engine where unit tests cannot: for *arbitrary*
+topologies, physics fixes global invariants — Tellegen's theorem (total
+power balances), passivity of resistive networks, and charge conservation
+in transients.  A sign error in any stamp breaks them immediately.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, dc_operating_point, transient_analysis
+
+
+def random_resistor_network(seed: int, n_nodes: int, n_extra: int) -> Circuit:
+    """A connected random resistive network driven by one source."""
+    rng = np.random.default_rng(seed)
+    ckt = Circuit(f"rand{seed}")
+    ckt.vsource("vs", "n0", "gnd", dc=float(rng.uniform(-5, 5)))
+    # spanning chain guarantees connectivity
+    for k in range(1, n_nodes):
+        r = float(rng.uniform(10, 1e5))
+        ckt.resistor(f"rc{k}", f"n{k - 1}", f"n{k}", r)
+    ckt.resistor("rgnd", f"n{n_nodes - 1}", "gnd", float(rng.uniform(10, 1e5)))
+    # random extra edges
+    for j in range(n_extra):
+        a, b = rng.integers(0, n_nodes, 2)
+        if a == b:
+            continue
+        ckt.resistor(f"rx{j}", f"n{a}", f"n{b}", float(rng.uniform(10, 1e5)))
+    return ckt
+
+
+def dissipated_power(ckt: Circuit, op) -> float:
+    total = 0.0
+    for el in ckt.resistors():
+        v = op.v(el.n1) - op.v(el.n2)
+        total += v * v / el.value
+    return total
+
+
+class TestTellegen:
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n_nodes=st.integers(min_value=2, max_value=12),
+           n_extra=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_source_power_equals_dissipation(self, seed, n_nodes, n_extra):
+        ckt = random_resistor_network(seed, n_nodes, n_extra)
+        op = dc_operating_point(ckt)
+        source = ckt.element("vs")
+        p_source = -op.i("vs") * source.dc  # delivered power
+        p_diss = dissipated_power(ckt, op)
+        assert p_source == pytest.approx(p_diss, rel=1e-8, abs=1e-15)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n_nodes=st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_passivity(self, seed, n_nodes):
+        """A resistive network never generates power."""
+        ckt = random_resistor_network(seed, n_nodes, 4)
+        op = dc_operating_point(ckt)
+        assert dissipated_power(ckt, op) >= 0.0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_voltage_bounds(self, seed):
+        """No internal node exceeds the source magnitude (max principle)."""
+        ckt = random_resistor_network(seed, 8, 6)
+        op = dc_operating_point(ckt)
+        vmax = abs(ckt.element("vs").dc)
+        for node in ckt.nodes():
+            assert abs(op.v(node)) <= vmax + 1e-9
+
+
+class TestChargeConservation:
+    def test_capacitor_charge_sharing(self):
+        """Two caps connected through a resistor: final voltage is the
+        charge-weighted average (charge conserved through the transient)."""
+        ckt = Circuit("share")
+        c1, c2 = 1e-9, 3e-9
+        ckt.capacitor("c1", "a", "gnd", c1)
+        ckt.capacitor("c2", "b", "gnd", c2)
+        ckt.resistor("r", "a", "b", 1e3)
+        # precharge c1 via a source that steps away at t=0... instead:
+        # start from DC with a source, then remove it is not possible in
+        # one run; use a large-R source that dominates initially.
+        ckt.vsource("vpre", "a_src", "gnd", dc=1.0)
+        # Precharge network: c1 held at 1 V, c2 shorted to ground.
+        ckt.switch("s_pre", "a_src", "a", closed=True, ron=1.0)
+        ckt.switch("s_gnd", "b", "gnd", closed=True, ron=1.0)
+        op = dc_operating_point(ckt)
+        assert op.v("a") == pytest.approx(1.0, rel=1e-3)
+        assert abs(op.v("b")) < 1e-3
+        # Open both switches and watch the charge redistribute; the
+        # precharged state is handed over as the initial condition (with
+        # the switches open the caps float at DC, so a fresh OP would be
+        # singular -- the point of the test).
+        ckt.element("s_pre").closed = False
+        ckt.element("s_gnd").closed = False
+        tr = transient_analysis(ckt, 40e-6, 20e-9, op0=op)
+        v_final_a = tr.v("a")[-1]
+        v_final_b = tr.v("b")[-1]
+        expected = 1.0 * c1 / (c1 + c2)
+        assert v_final_a == pytest.approx(expected, rel=0.02)
+        assert v_final_b == pytest.approx(expected, rel=0.02)
+
+    def test_rc_energy_balance(self):
+        """Energy delivered = energy stored + energy dissipated."""
+        from repro.spice.elements import Pulse
+
+        ckt = Circuit("energy")
+        ckt.vsource("vs", "a", "gnd", dc=0.0,
+                    wave=Pulse(v1=0.0, v2=1.0, delay=0.0, rise=1e-9,
+                               width=1.0, period=2.0))
+        ckt.resistor("r", "a", "b", 1e3)
+        ckt.capacitor("c", "b", "gnd", 1e-9)
+        tr = transient_analysis(ckt, 10e-6, 5e-9)
+        i_src = -tr.i("vs")
+        v_src = tr.v("a")
+        dt = tr.dt
+        e_delivered = float(np.sum(i_src * v_src) * dt)
+        vr = tr.v("a") - tr.v("b")
+        e_dissipated = float(np.sum(vr**2 / 1e3) * dt)
+        e_stored = 0.5 * 1e-9 * tr.v("b")[-1] ** 2
+        assert e_delivered == pytest.approx(e_dissipated + e_stored, rel=0.02)
+        # the classic identity: at full charge each is half the input energy
+        assert e_stored == pytest.approx(e_dissipated, rel=0.05)
+
+
+class TestNonlinearKcl:
+    @given(vdd=st.floats(min_value=1.5, max_value=5.0),
+           vg=st.floats(min_value=0.0, max_value=2.5))
+    @settings(max_examples=20, deadline=None)
+    def test_mos_branch_current_balance(self, tech, vdd, vg):
+        """Current out of the supply equals current into ground for any
+        bias of a CMOS branch."""
+        ckt = Circuit("kcl_nl")
+        ckt.vsource("vdd", "vdd", "gnd", dc=vdd)
+        ckt.vsource("vg", "g", "gnd", dc=vg)
+        ckt.resistor("r", "vdd", "d", 10e3)
+        ckt.mosfet("m1", "d", "g", "gnd", "gnd", tech.nmos, 20e-6, 2e-6)
+        op = dc_operating_point(ckt)
+        i_vdd = op.i("vdd")
+        i_r = (op.v("vdd") - op.v("d")) / 10e3
+        assert -i_vdd == pytest.approx(i_r, rel=1e-9, abs=1e-15)

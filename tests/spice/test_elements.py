@@ -1,0 +1,141 @@
+"""Element definitions: waveforms, validation, conventions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.elements import (
+    Capacitor,
+    Inductor,
+    Mosfet,
+    Pulse,
+    Pwl,
+    Resistor,
+    Sine,
+    Switch,
+    VoltageSource,
+)
+
+
+class TestSine:
+    def test_value_at_zero_no_delay(self):
+        wave = Sine(offset=0.5, amplitude=1.0, freq=1e3)
+        assert wave(0.0) == pytest.approx(0.5)
+
+    def test_peak_at_quarter_period(self):
+        wave = Sine(amplitude=2.0, freq=1e3)
+        assert wave(0.25e-3) == pytest.approx(2.0, rel=1e-9)
+
+    def test_holds_offset_before_delay(self):
+        wave = Sine(offset=0.3, amplitude=1.0, freq=1e3, delay=1e-3)
+        assert wave(0.5e-3) == pytest.approx(0.3)
+
+    def test_phase_shift(self):
+        wave = Sine(amplitude=1.0, freq=1e3, phase=math.pi / 2)
+        assert wave(0.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e-2))
+    def test_bounded_by_offset_plus_amplitude(self, t):
+        wave = Sine(offset=0.1, amplitude=0.7, freq=3.3e3)
+        assert abs(wave(t) - 0.1) <= 0.7 + 1e-12
+
+
+class TestPulse:
+    def test_initial_level(self):
+        wave = Pulse(v1=-1.0, v2=1.0, delay=1e-6)
+        assert wave(0.0) == -1.0
+
+    def test_high_level_after_rise(self):
+        wave = Pulse(v1=0.0, v2=1.0, delay=0.0, rise=1e-9, width=1e-6, period=2e-6)
+        assert wave(0.5e-6) == pytest.approx(1.0)
+
+    def test_mid_rise_interpolation(self):
+        wave = Pulse(v1=0.0, v2=2.0, delay=0.0, rise=10e-9, width=1e-6, period=10e-6)
+        assert wave(5e-9) == pytest.approx(1.0)
+
+    def test_falls_back_to_v1(self):
+        wave = Pulse(v1=0.2, v2=1.0, delay=0.0, rise=1e-9, fall=1e-9,
+                     width=1e-6, period=10e-6)
+        assert wave(5e-6) == pytest.approx(0.2)
+
+    def test_periodicity(self):
+        wave = Pulse(v1=0.0, v2=1.0, delay=0.0, rise=1e-9, fall=1e-9,
+                     width=1e-6, period=2e-6)
+        assert wave(0.5e-6) == pytest.approx(wave(2.5e-6))
+
+
+class TestPwl:
+    def test_interpolates(self):
+        wave = Pwl(times=(0.0, 1.0), values=(0.0, 2.0))
+        assert wave(0.25) == pytest.approx(0.5)
+
+    def test_clamps_outside_range(self):
+        wave = Pwl(times=(1.0, 2.0), values=(3.0, 5.0))
+        assert wave(0.0) == 3.0
+        assert wave(9.0) == 5.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Pwl(times=(0.0, 1.0), values=(0.0,))
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Pwl(times=(1.0, 0.5), values=(0.0, 1.0))
+
+
+class TestValidation:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            Resistor("r1", n1="a", n2="b", value=0.0)
+
+    def test_capacitor_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            Capacitor("c1", n1="a", n2="b", value=-1e-12)
+
+    def test_inductor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Inductor("l1", n1="a", n2="b", value=0.0)
+
+    def test_switch_rejects_bad_resistances(self):
+        with pytest.raises(ValueError):
+            Switch("s1", n1="a", n2="b", closed=True, ron=0.0)
+
+    def test_mosfet_rejects_zero_width(self):
+        with pytest.raises(ValueError, match="W and L"):
+            Mosfet("m1", d="d", g="g", s="s", b="b", w=0.0)
+
+    def test_mosfet_rejects_zero_multiplier(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            Mosfet("m1", d="d", g="g", s="s", b="b", m=0)
+
+
+class TestResistorTemperature:
+    def test_nominal_at_25c(self):
+        r = Resistor("r", n1="a", n2="b", value=1e3, tc1=1e-3)
+        assert r.value_at(25.0) == pytest.approx(1e3)
+
+    def test_tc1_slope(self):
+        r = Resistor("r", n1="a", n2="b", value=1e3, tc1=1e-3)
+        assert r.value_at(125.0) == pytest.approx(1100.0)
+
+    def test_tc2_curvature(self):
+        r = Resistor("r", n1="a", n2="b", value=1e3, tc2=1e-6)
+        assert r.value_at(125.0) == pytest.approx(1e3 * (1 + 1e-6 * 100**2))
+
+
+class TestSourceConventions:
+    def test_vsource_value_at_uses_wave(self):
+        src = VoltageSource("v1", np="a", nn="b", dc=1.0,
+                            wave=Sine(offset=0.0, amplitude=1.0, freq=1e3))
+        assert src.value_at(0.0) == pytest.approx(0.0)
+
+    def test_vsource_value_at_falls_back_to_dc(self):
+        src = VoltageSource("v1", np="a", nn="b", dc=0.7)
+        assert src.value_at(123.0) == 0.7
+
+    def test_switch_resistance_follows_state(self):
+        sw = Switch("s", n1="a", n2="b", closed=False, ron=10.0, roff=1e9)
+        assert sw.resistance == 1e9
+        sw.closed = True
+        assert sw.resistance == 10.0

@@ -1,0 +1,71 @@
+"""SPICE-deck export."""
+
+import pytest
+
+from repro.spice import Circuit, Pulse, Sine
+from repro.spice.export import export_netlist, write_netlist
+
+
+@pytest.fixture
+def small_circuit(tech):
+    ckt = Circuit("demo")
+    ckt.vsource("vdd", "vdd", "gnd", dc=2.6, ac=1.0)
+    ckt.vsource("vin", "in", "gnd", dc=0.9,
+                wave=Sine(offset=0.9, amplitude=0.1, freq=1e3))
+    ckt.resistor("rl", "vdd", "out", 10e3, tc1=8e-4)
+    ckt.capacitor("cl", "out", "gnd", 1e-12)
+    ckt.mosfet("m1", "out", "in", "gnd", "gnd", tech.nmos, 50e-6, 2e-6)
+    ckt.bjt("q1", "gnd", "gnd", "e1", tech.vpnp)
+    ckt.isource("ib", "e1", "gnd", dc=-20e-6)
+    ckt.switch("s1", "out", "tap", closed=True, ron=100.0)
+    ckt.resistor("rtap", "tap", "gnd", 1e3)
+    return ckt
+
+
+class TestExport:
+    def test_contains_every_element(self, small_circuit):
+        deck = export_netlist(small_circuit)
+        for prefix in ("Vvdd", "Vvin", "Rrl", "Ccl", "Mm1", "Qq1", "Iib", "Rs1"):
+            assert prefix in deck, f"{prefix} missing from deck"
+
+    def test_ground_is_node_zero(self, small_circuit):
+        deck = export_netlist(small_circuit)
+        assert "Vvdd vdd 0 DC 2.6 AC 1 0" in deck
+
+    def test_model_cards_emitted_once(self, small_circuit, tech):
+        deck = export_netlist(small_circuit)
+        assert deck.count(f".model {tech.nmos.name} NMOS") == 1
+        assert deck.count(f".model {tech.vpnp.name} PNP") == 1
+
+    def test_sine_wave_rendered(self, small_circuit):
+        deck = export_netlist(small_circuit)
+        assert "SIN(0.9 0.1 1000" in deck
+
+    def test_pulse_and_pwl(self, tech):
+        ckt = Circuit("w")
+        ckt.vsource("v1", "a", "gnd",
+                    wave=Pulse(v1=0, v2=1, delay=1e-6, rise=1e-9,
+                               fall=1e-9, width=1e-3, period=2e-3))
+        ckt.resistor("r1", "a", "gnd", 1.0)
+        deck = export_netlist(ckt)
+        assert "PULSE(0 1 1e-06" in deck
+
+    def test_ends_with_end_card(self, small_circuit):
+        assert export_netlist(small_circuit).rstrip().endswith(".end")
+
+    def test_write_netlist(self, small_circuit, tmp_path):
+        path = tmp_path / "demo.cir"
+        write_netlist(small_circuit, str(path))
+        assert path.read_text().startswith("* demo")
+
+    def test_resistor_tempco_exported(self, small_circuit):
+        deck = export_netlist(small_circuit)
+        assert "TC=0.0008,0" in deck
+
+    def test_full_mic_amp_exports(self, mic_amp_40db):
+        deck = export_netlist(mic_amp_40db.circuit, title="Fig. 4 deck")
+        assert deck.startswith("* Fig. 4 deck")
+        # every MOSFET present
+        n_mos = sum(1 for line in deck.splitlines() if line.startswith("Mm")
+                    or line.startswith("Mt") or line.startswith("Msw"))
+        assert n_mos == len(mic_amp_40db.circuit.mosfets())

@@ -1,0 +1,166 @@
+"""Linear MNA correctness: stamps, controlled sources, superposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spice import Circuit, dc_operating_point
+
+resistances = st.floats(min_value=10.0, max_value=1e6)
+voltages = st.floats(min_value=-10.0, max_value=10.0)
+
+
+class TestBasicStamps:
+    def test_voltage_divider(self):
+        ckt = Circuit("div")
+        ckt.vsource("v1", "a", "gnd", dc=3.0)
+        ckt.resistor("r1", "a", "b", 2e3)
+        ckt.resistor("r2", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(1.0, rel=1e-9)
+        assert op.i("v1") == pytest.approx(-1e-3, rel=1e-9)  # source delivers 1 mA
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit("ir")
+        ckt.isource("i1", "a", "gnd", dc=-2e-3)  # 2 mA into node a
+        ckt.resistor("r1", "a", "gnd", 500.0)
+        op = dc_operating_point(ckt)
+        assert op.v("a") == pytest.approx(1.0, rel=1e-9)
+
+    def test_floating_source_between_nodes(self):
+        ckt = Circuit("float")
+        ckt.vsource("v1", "a", "gnd", dc=1.0)
+        ckt.vsource("v2", "b", "a", dc=0.5)
+        ckt.resistor("r1", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(1.5, rel=1e-9)
+
+    def test_inductor_is_dc_short(self):
+        ckt = Circuit("ind")
+        ckt.vsource("v1", "a", "gnd", dc=2.0)
+        ckt.inductor("l1", "a", "b", 1e-3)
+        ckt.resistor("r1", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(2.0, rel=1e-9)
+        assert op.i("l1") == pytest.approx(2e-3, rel=1e-9)
+
+    def test_capacitor_is_dc_open(self):
+        ckt = Circuit("cap")
+        ckt.vsource("v1", "a", "gnd", dc=2.0)
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.capacitor("c1", "b", "gnd", 1e-9)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(2.0, rel=1e-9)
+
+    def test_switch_states(self):
+        ckt = Circuit("sw")
+        ckt.vsource("v1", "a", "gnd", dc=1.0)
+        ckt.switch("s1", "a", "b", closed=True, ron=1.0, roff=1e12)
+        ckt.resistor("r1", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(1.0 * 1e3 / 1001.0, rel=1e-9)
+
+        ckt.element("s1").closed = False
+        op2 = dc_operating_point(ckt)
+        assert op2.v("b") == pytest.approx(0.0, abs=1e-6)
+
+
+class TestControlledSources:
+    def test_vcvs(self):
+        ckt = Circuit("e")
+        ckt.vsource("v1", "a", "gnd", dc=0.5)
+        ckt.vcvs("e1", "b", "gnd", "a", "gnd", gain=4.0)
+        ckt.resistor("r1", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(2.0, rel=1e-9)
+
+    def test_vccs(self):
+        ckt = Circuit("g")
+        ckt.vsource("v1", "a", "gnd", dc=1.0)
+        ckt.vccs("g1", "gnd", "b", "a", "gnd", gm=1e-3)  # 1 mA into b
+        ckt.resistor("r1", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(1.0, rel=1e-9)
+
+    def test_cccs(self):
+        ckt = Circuit("f")
+        ckt.vsource("v1", "a", "gnd", dc=1.0)
+        ckt.resistor("r1", "a", "gnd", 1e3)  # 1 mA through v1
+        ckt.cccs("f1", "gnd", "b", control="v1", gain=2.0)
+        ckt.resistor("r2", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        # branch current of v1 is -1 mA (delivering); F copies 2x
+        assert op.v("b") == pytest.approx(-2.0, rel=1e-9)
+
+    def test_ccvs(self):
+        ckt = Circuit("h")
+        ckt.vsource("v1", "a", "gnd", dc=1.0)
+        ckt.resistor("r1", "a", "gnd", 500.0)
+        ckt.ccvs("h1", "b", "gnd", control="v1", transresistance=1e3)
+        ckt.resistor("r2", "b", "gnd", 1e3)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(-2.0, rel=1e-9)
+
+    def test_cccs_rejects_non_branch_control(self):
+        ckt = Circuit("bad")
+        ckt.resistor("r1", "a", "gnd", 1e3)
+        ckt.cccs("f1", "a", "gnd", control="r1", gain=1.0)
+        with pytest.raises(TypeError, match="branch current"):
+            ckt.compile()
+
+
+class TestNetworkTheorems:
+    @given(r1=resistances, r2=resistances, v=voltages)
+    @settings(max_examples=25, deadline=None)
+    def test_divider_formula(self, r1, r2, v):
+        ckt = Circuit("div")
+        ckt.vsource("v1", "a", "gnd", dc=v)
+        ckt.resistor("r1", "a", "b", r1)
+        ckt.resistor("r2", "b", "gnd", r2)
+        op = dc_operating_point(ckt)
+        assert op.v("b") == pytest.approx(v * r2 / (r1 + r2), rel=1e-8, abs=1e-12)
+
+    @given(v1=voltages, v2=voltages)
+    @settings(max_examples=20, deadline=None)
+    def test_superposition(self, v1, v2):
+        """Linear circuit: response to (v1, v2) = response(v1,0) + response(0,v2)."""
+
+        def solve(a, b):
+            ckt = Circuit("sup")
+            ckt.vsource("va", "x", "gnd", dc=a)
+            ckt.vsource("vb", "y", "gnd", dc=b)
+            ckt.resistor("r1", "x", "m", 1e3)
+            ckt.resistor("r2", "y", "m", 2.2e3)
+            ckt.resistor("r3", "m", "gnd", 4.7e3)
+            return dc_operating_point(ckt).v("m")
+
+        both = solve(v1, v2)
+        assert both == pytest.approx(solve(v1, 0.0) + solve(0.0, v2),
+                                     rel=1e-8, abs=1e-10)
+
+    def test_reciprocity(self):
+        """Transfer a->b equals b->a in a passive reciprocal network."""
+
+        def transfer(drive_at):
+            ckt = Circuit("recip")
+            other = "b" if drive_at == "a" else "a"
+            ckt.isource("i1", "gnd", drive_at, dc=1e-3)
+            ckt.resistor("r1", "a", "m", 1e3)
+            ckt.resistor("r2", "m", "b", 2e3)
+            ckt.resistor("r3", "m", "gnd", 3e3)
+            ckt.resistor("r4", "a", "gnd", 5e3)
+            ckt.resistor("r5", "b", "gnd", 7e3)
+            return dc_operating_point(ckt).v(other)
+
+        assert transfer("a") == pytest.approx(transfer("b"), rel=1e-10)
+
+    def test_kcl_at_every_node(self, tech):
+        """Residual of the solved system is tiny at every node (KCL)."""
+        ckt = Circuit("kcl")
+        ckt.vsource("vdd", "vdd", "gnd", dc=2.6)
+        ckt.resistor("r1", "vdd", "x", 10e3)
+        ckt.mosfet("m1", "x", "x", "gnd", "gnd", tech.nmos, 20e-6, 2e-6)
+        op = dc_operating_point(ckt)
+        system = op.system
+        _, resid, _ = system.assemble(op.x, system.rhs_dc())
+        assert np.max(np.abs(resid[: system.num_nodes])) < 1e-9

@@ -1,0 +1,112 @@
+"""Circuit container and SubCircuit namespacing."""
+
+import pytest
+
+from repro.spice import Circuit, GROUND
+from repro.spice.netlist import SubCircuit, is_ground
+
+
+class TestCircuit:
+    def test_duplicate_names_rejected(self):
+        ckt = Circuit("c")
+        ckt.resistor("r1", "a", "b", 1e3)
+        with pytest.raises(ValueError, match="duplicate"):
+            ckt.resistor("r1", "b", "c", 2e3)
+
+    def test_empty_name_rejected(self):
+        ckt = Circuit("c")
+        with pytest.raises(ValueError, match="non-empty"):
+            from repro.spice.elements import Resistor
+
+            ckt.add(Resistor("", n1="a", n2="b", value=1.0))
+
+    def test_nodes_exclude_ground_aliases(self):
+        ckt = Circuit("c")
+        ckt.resistor("r1", "a", "gnd", 1e3)
+        ckt.resistor("r2", "b", "0", 1e3)
+        assert ckt.nodes() == ["a", "b"]
+
+    def test_element_lookup_and_contains(self):
+        ckt = Circuit("c")
+        ckt.resistor("r1", "a", "b", 1e3)
+        assert "r1" in ckt
+        assert ckt.element("r1").value == 1e3
+        with pytest.raises(KeyError):
+            ckt.element("nope")
+
+    def test_remove(self):
+        ckt = Circuit("c")
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.remove("r1")
+        assert "r1" not in ckt
+        with pytest.raises(KeyError):
+            ckt.remove("r1")
+
+    def test_elements_of_type(self):
+        ckt = Circuit("c")
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.capacitor("c1", "a", "gnd", 1e-12)
+        assert len(ckt.resistors()) == 1
+        assert len(ckt.mosfets()) == 0
+
+    def test_summary_mentions_counts(self):
+        ckt = Circuit("demo")
+        ckt.resistor("r1", "a", "b", 1e3)
+        assert "1 Resistor" in ckt.summary()
+        assert "demo" in ckt.summary()
+
+    def test_nodeset_recorded(self):
+        ckt = Circuit("c")
+        ckt.nodeset("x", 1.25)
+        assert ckt.nodesets == {"x": 1.25}
+
+    def test_is_ground_aliases(self):
+        assert is_ground("gnd")
+        assert is_ground("0")
+        assert not is_ground("g")
+        assert GROUND == "gnd"
+
+
+class TestSubCircuit:
+    def test_prefixes_internal_nodes(self):
+        ckt = Circuit("top")
+        sub = SubCircuit(ckt, "bias", ports={"out": "nbias"})
+        sub.resistor("r1", "out", "internal", 1e3)
+        el = ckt.element("bias.r1")
+        assert el.n1 == "nbias"
+        assert el.n2 == "bias.internal"
+
+    def test_ground_passes_through(self):
+        ckt = Circuit("top")
+        sub = SubCircuit(ckt, "u1")
+        sub.resistor("r1", "gnd", "x", 1e3)
+        assert ckt.element("u1.r1").n1 == GROUND
+
+    def test_two_instances_do_not_collide(self):
+        ckt = Circuit("top")
+        SubCircuit(ckt, "u1").resistor("r", "a", "b", 1e3)
+        SubCircuit(ckt, "u2").resistor("r", "a", "b", 1e3)
+        assert "u1.r" in ckt and "u2.r" in ckt
+        assert ckt.element("u1.r").n1 == "u1.a"
+
+    def test_nodeset_maps_through_ports(self):
+        ckt = Circuit("top")
+        sub = SubCircuit(ckt, "u1", ports={"out": "vout"})
+        sub.nodeset("out", 0.5)
+        sub.nodeset("inner", 0.1)
+        assert ckt.nodesets["vout"] == 0.5
+        assert ckt.nodesets["u1.inner"] == 0.1
+
+    def test_mosfet_nodes_mapped(self, tech):
+        ckt = Circuit("top")
+        sub = SubCircuit(ckt, "amp", ports={"vdd": "vdd"})
+        sub.mosfet("m1", "d", "g", "vdd", "vdd", tech.nmos, 10e-6, 2e-6)
+        el = ckt.element("amp.m1")
+        assert el.d == "amp.d"
+        assert el.s == "vdd"
+
+    def test_unknown_attribute_raises(self):
+        ckt = Circuit("top")
+        sub = SubCircuit(ckt, "u")
+        with pytest.raises(AttributeError):
+            sub.not_a_factory("x")

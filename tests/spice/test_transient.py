@@ -1,0 +1,113 @@
+"""Transient integration: analytic RC/RL responses, steady state, rescue."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, Pulse, Sine, transient_analysis
+from repro.spice.waveform import Waveform
+
+
+class TestRcStep:
+    def make(self, dt_rise=1e-9):
+        ckt = Circuit("rc")
+        ckt.vsource("vin", "a", "gnd", dc=0.0,
+                    wave=Pulse(v1=0.0, v2=1.0, delay=0.0, rise=dt_rise,
+                               fall=dt_rise, width=1.0, period=2.0))
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.capacitor("c1", "b", "gnd", 1e-9)
+        return ckt
+
+    @pytest.mark.parametrize("method", ["be", "trap"])
+    def test_exponential_charge(self, method):
+        ckt = self.make()
+        tr = transient_analysis(ckt, 5e-6, 5e-9, method=method)
+        tau = 1e-6
+        expected = 1.0 - np.exp(-tr.t / tau)
+        err = np.max(np.abs(tr.v("b") - expected))
+        assert err < 0.01
+
+    def test_final_value(self):
+        ckt = self.make()
+        tr = transient_analysis(ckt, 10e-6, 10e-9)
+        assert tr.v("b")[-1] == pytest.approx(1.0, abs=1e-4)
+
+    def test_initial_condition_from_dc(self):
+        ckt = self.make()
+        # Pulse starts at v1=0, so the cap starts discharged.
+        tr = transient_analysis(ckt, 1e-6, 10e-9)
+        assert abs(tr.v("b")[0]) < 1e-9
+
+
+class TestRlStep:
+    def test_inductor_current_ramp(self):
+        ckt = Circuit("rl")
+        ckt.vsource("vin", "a", "gnd", dc=0.0,
+                    wave=Pulse(v1=0.0, v2=1.0, delay=0.0, rise=1e-9,
+                               width=1.0, period=2.0))
+        ckt.resistor("r1", "a", "b", 100.0)
+        ckt.inductor("l1", "b", "gnd", 1e-3)
+        tr = transient_analysis(ckt, 50e-6, 50e-9)
+        tau = 1e-3 / 100.0
+        i_expected = (1.0 / 100.0) * (1.0 - np.exp(-tr.t / tau))
+        err = np.max(np.abs(tr.i("l1") - i_expected))
+        assert err < 2e-4
+
+
+class TestSineSteadyState:
+    def test_rc_sine_amplitude_and_phase(self):
+        ckt = Circuit("rcs")
+        ckt.vsource("vin", "a", "gnd", dc=0.0,
+                    wave=Sine(amplitude=1.0, freq=1e3))
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.capacitor("c1", "b", "gnd", 159.154943e-9)
+        tr = transient_analysis(ckt, 5e-3, 1e-6)
+        w_out = Waveform(tr.t, tr.v("b")).last_cycles(1e3, 2)
+        w_in = Waveform(tr.t, tr.v("a")).last_cycles(1e3, 2)
+        comp_out = w_out.fourier_component(1e3)
+        comp_in = w_in.fourier_component(1e3)
+        assert abs(comp_out) == pytest.approx(1 / np.sqrt(2), rel=5e-3)
+        phase = np.degrees(np.angle(comp_out / comp_in))
+        assert phase == pytest.approx(-45.0, abs=1.0)
+
+    def test_vsource_follows_wave_exactly(self):
+        ckt = Circuit("src")
+        ckt.vsource("vin", "a", "gnd", dc=0.0, wave=Sine(amplitude=0.5, freq=2e3))
+        ckt.resistor("r1", "a", "gnd", 1e3)
+        tr = transient_analysis(ckt, 1e-3, 1e-6)
+        expected = 0.5 * np.sin(2 * np.pi * 2e3 * tr.t)
+        assert np.max(np.abs(tr.v("a") - expected)) < 1e-9
+
+
+class TestRobustness:
+    def test_rejects_bad_grid(self):
+        ckt = Circuit("bad")
+        ckt.vsource("v", "a", "gnd", dc=1.0)
+        ckt.resistor("r", "a", "gnd", 1.0)
+        with pytest.raises(ValueError):
+            transient_analysis(ckt, -1.0, 1e-9)
+        with pytest.raises(ValueError):
+            transient_analysis(ckt, 1e-6, 0.0)
+
+    def test_nonlinear_clipping_survives(self, tech):
+        """A hard-clipped amplifier stage must integrate without failure."""
+        ckt = Circuit("clip")
+        ckt.vsource("vdd", "vdd", "gnd", dc=2.6)
+        ckt.vsource("vin", "in", "gnd", dc=0.9,
+                    wave=Sine(offset=0.9, amplitude=0.8, freq=10e3))
+        ckt.resistor("rl", "vdd", "out", 10e3, noisy=False)
+        ckt.mosfet("m1", "out", "in", "gnd", "gnd", tech.nmos, 50e-6, 2e-6)
+        ckt.capacitor("cl", "out", "gnd", 1e-12)
+        tr = transient_analysis(ckt, 2e-4, 2e-7)
+        out = tr.v("out")
+        assert out.min() > -0.1
+        assert out.max() < 2.7
+
+    def test_result_accessors(self):
+        ckt = Circuit("acc")
+        ckt.vsource("v", "a", "gnd", dc=1.0)
+        ckt.resistor("r", "a", "b", 1e3)
+        ckt.resistor("r2", "b", "gnd", 1e3)
+        tr = transient_analysis(ckt, 1e-6, 1e-7)
+        assert tr.dt == pytest.approx(1e-7)
+        assert np.allclose(tr.vdiff("a", "b"), tr.v("a") - tr.v("b"))
+        assert np.allclose(tr.v("gnd"), 0.0)

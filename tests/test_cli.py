@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in (["table1"], ["table2", "--quick"], ["noise", "--code", "3"],
+                    ["gains"], ["opamp"], ["export", "micamp", "-"]):
+            args = parser.parse_args(cmd)
+            assert callable(args.func)
+
+    def test_bad_gain_code_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["noise", "--code", "9"])
+
+
+class TestCommands:
+    def test_gains_prints_table(self, capsys):
+        assert main(["gains"]) == 0
+        out = capsys.readouterr().out
+        assert "40.0 dB" in out
+        assert "worst absolute error" in out
+
+    def test_opamp_figures(self, capsys):
+        assert main(["opamp"]) == 0
+        out = capsys.readouterr().out
+        assert "I_Q" in out and "GBW" in out
+
+    def test_noise_spectrum(self, capsys):
+        assert main(["noise", "--code", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "voice-band average" in out
+
+    def test_export_to_stdout(self, capsys):
+        assert main(["export", "bias", "-"]) == 0
+        out = capsys.readouterr().out
+        assert ".end" in out
+        assert "Qq1" in out
+
+    def test_export_to_file(self, tmp_path, capsys):
+        path = tmp_path / "buffer.cir"
+        assert main(["export", "powerbuffer", str(path)]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_table1_quick(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: PASS" in out

@@ -1,0 +1,89 @@
+"""End-to-end integration: the paper's tables and system claims in one place.
+
+These are the tests a reviewer would run first: does the reproduction
+meet Table 1, Table 2 and the Eq. 2 system budget, all the way from
+transistor models to the sigma-delta output?
+"""
+
+import numpy as np
+import pytest
+
+from repro.pga.characterize import (
+    CharacterizationOptions,
+    characterize_mic_amp,
+    characterize_power_buffer,
+)
+from repro.pga.specs import MIC_AMP_SPEC, POWER_BUFFER_SPEC
+
+QUICK = CharacterizationOptions(quick=True)
+
+
+@pytest.fixture(scope="module")
+def table1(tech):
+    return characterize_mic_amp(tech, QUICK)
+
+
+@pytest.fixture(scope="module")
+def table2(tech):
+    return characterize_power_buffer(tech, QUICK)
+
+
+class TestTable1:
+    def test_every_row_passes(self, table1):
+        report = MIC_AMP_SPEC.check(table1)
+        assert report.passed, "\n" + report.format()
+
+    def test_headline_noise_close_to_paper(self, table1):
+        assert table1["vnin_avg_nv"] == pytest.approx(5.1, rel=0.30)
+
+    def test_iq_close_to_paper(self, table1):
+        assert table1["iq_ma"] == pytest.approx(2.6, rel=0.15)
+
+    def test_operates_below_2_6v(self, table1):
+        assert table1["supply_min_v"] <= 2.6
+
+
+class TestTable2:
+    def test_every_row_passes(self, table2):
+        report = POWER_BUFFER_SPEC.check(table2)
+        assert report.passed, "\n" + report.format()
+
+    def test_iq_close_to_paper(self, table2):
+        assert table2["iq_ma"] == pytest.approx(3.25, rel=0.30)
+
+    def test_hd_ordering(self, table2):
+        """0.3 % HD swing < 0.6 % HD swing, both within a few hundred mV
+        of the rails (the paper's 100/300 mV rows)."""
+        assert table2["vomax_hd03_vpp_diff"] <= table2["vomax_hd06_vpp_diff"]
+        assert table2["vomax_margin_hd06_mv"] < 400.0
+
+
+class TestSystemBudget:
+    def test_full_chain_meets_14_bit_budget(self, tech, mic_amp_noise):
+        """Fig. 1 + Eq. 2: microphone amp (measured noise) + sigma-delta
+        modulator deliver the psophometric S/N the CODEC needs."""
+        from repro.frontend.voice_chain import VoiceChain
+
+        chain = VoiceChain()
+        res = chain.run(5, 5.0e-3, mic_amp_noise.freqs, mic_amp_noise.input_psd)
+        assert res.snr_psophometric_db > 80.0
+        assert not res.clipped
+
+    def test_bias_and_bandgap_feed_consistent_levels(self, tech):
+        """The references the front-end distributes: +/-0.6 V and ~20 uA."""
+        from repro.circuits.bandgap import build_bandgap
+        from repro.circuits.bias import build_bias_circuit
+        from repro.spice import dc_operating_point
+
+        bias = build_bias_circuit(tech)
+        op_bias = dc_operating_point(bias.circuit)
+        assert op_bias.v("iout") / 10e3 == pytest.approx(20e-6, rel=0.15)
+
+        bg = build_bandgap(tech, r2_trim=1.2)
+        op_bg = dc_operating_point(bg.circuit)
+        assert op_bg.v("vrefp") == pytest.approx(0.6, abs=0.06)
+        assert op_bg.v("vrefn") == pytest.approx(-0.6, abs=0.06)
+
+    def test_whole_front_end_within_current_budget(self, table1, table2):
+        """Mic amp + buffer together: the battery-life constraint."""
+        assert table1["iq_ma"] + table2["iq_ma"] < 7.0

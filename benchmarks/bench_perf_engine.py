@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Perf benchmark harness for the batched small-signal engine.
+
+Times the hot characterization workloads and writes ``BENCH_perf.json``
+so future PRs have a wall-clock trajectory to beat:
+
+* ``ac_sweep``: 200-point log AC sweep of the mic amp — batched
+  frequency-stacked engine vs the kept per-frequency looped reference
+  (:func:`repro.spice.ac._ac_analysis_looped`), measured in the same run.
+* ``noise_sweep``: the same grid through the adjoint noise analysis
+  (batched vs :func:`repro.spice.noise._noise_analysis_looped`).
+* ``pga_characterize``: the full Table-1 mic-amp characterization driver
+  (quick options) — timing emission only.
+* ``dc_temp_sweep``: warm-started DC operating points of the power
+  buffer across the consumer temperature range (exercises the cached
+  stamp-index / RHS paths of the Newton loop).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the sweeps for CI: it still emits every timing (and
+the JSON) but asserts nothing about speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fresh_op(op):
+    """Clone an operating point without its small-signal cache, so each
+    timed repetition pays the honest one-linearize cost of the new path."""
+    from repro.spice.dc import OperatingPoint
+
+    return OperatingPoint(op.system, op.x, op.iterations, op.strategy)
+
+
+def bench_ac_noise(n_points: int, repeats: int) -> dict:
+    from repro.circuits.micamp import build_mic_amp
+    from repro.process import CMOS12
+    from repro.spice.ac import _ac_analysis_looped, ac_analysis
+    from repro.spice.dc import dc_operating_point
+    from repro.spice.noise import _noise_analysis_looped, noise_analysis
+
+    design = build_mic_amp(CMOS12, gain_code=5)
+    op = dc_operating_point(design.circuit)
+    freqs = np.logspace(1.0, 6.0, n_points)
+    out_p, out_n = design.outp, design.outn
+
+    t_ac_looped = _best_of(lambda: _ac_analysis_looped(op, freqs), repeats)
+    t_ac_batched = _best_of(lambda: ac_analysis(_fresh_op(op), freqs), repeats)
+    t_noise_looped = _best_of(
+        lambda: _noise_analysis_looped(op, freqs, out_p, out_n), repeats
+    )
+    t_noise_batched = _best_of(
+        lambda: noise_analysis(_fresh_op(op), freqs, out_p, out_n), repeats
+    )
+
+    # The characterization workload proper: AC gain and noise of the same
+    # operating point.  The looped path pays two linearize calls and two
+    # per-frequency loops; the new engine shares one context and one
+    # factorization between the forward and adjoint solves.
+    def _combined_looped():
+        _ac_analysis_looped(op, freqs)
+        _noise_analysis_looped(op, freqs, out_p, out_n)
+
+    def _combined_batched():
+        shared_op = _fresh_op(op)
+        ac_analysis(shared_op, freqs)
+        noise_analysis(shared_op, freqs, out_p, out_n)
+
+    t_looped = _best_of(_combined_looped, repeats)
+    t_batched = _best_of(_combined_batched, repeats)
+
+    # Cross-check in the same run: the two paths must agree (atol floors
+    # the comparison at 1e-12 of the solution scale for negligible entries).
+    ref = _ac_analysis_looped(op, freqs)
+    new = ac_analysis(_fresh_op(op), freqs)
+    np.testing.assert_allclose(
+        new._x, ref._x, rtol=1e-9, atol=1e-12 * float(np.abs(ref._x).max())
+    )
+
+    return {
+        "n_points": n_points,
+        "system_size": op.system.size,
+        "ac_looped_s": t_ac_looped,
+        "ac_batched_s": t_ac_batched,
+        "ac_speedup": t_ac_looped / t_ac_batched,
+        "noise_looped_s": t_noise_looped,
+        "noise_batched_s": t_noise_batched,
+        "noise_speedup": t_noise_looped / t_noise_batched,
+        "combined_looped_s": t_looped,
+        "combined_batched_s": t_batched,
+        "combined_speedup": t_looped / t_batched,
+    }
+
+
+def bench_characterize(quick: bool) -> dict:
+    from repro.pga.characterize import CharacterizationOptions, characterize_mic_amp
+    from repro.process import CMOS12
+
+    opts = CharacterizationOptions(quick=quick)
+    t0 = time.perf_counter()
+    measured = characterize_mic_amp(CMOS12, opts)
+    elapsed = time.perf_counter() - t0
+    return {"quick": quick, "wall_s": elapsed, "n_metrics": len(measured)}
+
+
+def bench_dc_temp_sweep(n_temps: int) -> dict:
+    from repro.circuits.powerbuffer import build_power_buffer
+    from repro.process import CMOS12
+    from repro.spice.sweeps import temperature_sweep
+
+    design = build_power_buffer(CMOS12, feedback="inverting", load="resistive")
+    temps = np.linspace(-20.0, 85.0, n_temps)
+    t0 = time.perf_counter()
+    ops = temperature_sweep(design.circuit, temps)
+    elapsed = time.perf_counter() - t0
+    total_iters = sum(op.iterations for op in ops)
+    return {"n_temps": n_temps, "wall_s": elapsed, "newton_iterations": total_iters}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep sizes for CI; no speedup floor")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    n_points = 40 if args.smoke else 200
+    repeats = 1 if args.smoke else 3
+    n_temps = 4 if args.smoke else 8
+
+    results: dict = {}
+    print(f"[bench_perf_engine] AC + noise sweep ({n_points} points)...")
+    results["ac_noise"] = bench_ac_noise(n_points, repeats)
+    print(
+        "  ac: {ac_looped_s:.3f}s -> {ac_batched_s:.3f}s ({ac_speedup:.1f}x)   "
+        "noise: {noise_looped_s:.3f}s -> {noise_batched_s:.3f}s "
+        "({noise_speedup:.1f}x)   combined {combined_speedup:.1f}x".format(
+            **results["ac_noise"]
+        )
+    )
+
+    print("[bench_perf_engine] DC temperature sweep...")
+    results["dc_temp_sweep"] = bench_dc_temp_sweep(n_temps)
+    print("  {wall_s:.2f}s for {n_temps} temperatures "
+          "({newton_iterations} Newton iterations)".format(**results["dc_temp_sweep"]))
+
+    print("[bench_perf_engine] full PGA characterization (quick options)...")
+    results["pga_characterize"] = bench_characterize(quick=True)
+    print("  {wall_s:.2f}s for {n_metrics} metrics".format(**results["pga_characterize"]))
+
+    import scipy
+
+    payload = {
+        "benchmark": "bench_perf_engine",
+        "smoke": args.smoke,
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[bench_perf_engine] wrote {args.out}")
+
+    if not args.smoke and results["ac_noise"]["combined_speedup"] < 5.0:
+        print("FAIL: combined AC+noise speedup below the 5x acceptance floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.circuits.micamp import MicAmpDesign
-from repro.spice.ac import ac_analysis
 from repro.spice.dc import dc_operating_point
 
 
@@ -65,8 +64,9 @@ def measure_gain_codes(
         for code in range(design.gain.num_codes):
             design.set_gain_code(code)
             op = dc_operating_point(design.circuit, temp_c=temp_c)
-            ac = ac_analysis(op, np.array([freq]))
-            h = abs(ac.vdiff(design.outp, design.outn)[0])
+            # One cached linearisation per code serves this probe and the
+            # optional bandwidth sweep below.
+            h = abs(op.small_signal().transfer(np.array([freq]), design.outp, design.outn)[0])
             result.codes.append(code)
             result.nominal_db.append(design.gain.gain_db(code))
             result.measured_db.append(20.0 * float(np.log10(h)))
@@ -82,8 +82,7 @@ def measure_gain_codes(
 def _bandwidth(design: MicAmpDesign, op, g_ref: float, f_ref: float) -> float:
     """-3 dB closed-loop bandwidth by log-sweep + interpolation."""
     freqs = np.logspace(np.log10(f_ref), 8, 120)
-    ac = ac_analysis(op, freqs)
-    h = np.abs(ac.vdiff(design.outp, design.outn))
+    h = np.abs(op.small_signal().transfer(freqs, design.outp, design.outn))
     target = g_ref / np.sqrt(2.0)
     below = np.where(h < target)[0]
     if below.size == 0:

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.spice.ac import ac_analysis
 from repro.spice.dc import dc_operating_point
 from repro.spice.elements import VoltageSource
 from repro.spice.netlist import Circuit
@@ -43,6 +42,15 @@ def _signal_sources(circuit: Circuit, names: tuple[str, ...]) -> list[VoltageSou
     return sources
 
 
+def _rejection(ctx, freq: float, b_signal, b_disturb, out_p: str, out_n: str) -> RejectionResult:
+    """Solve both excitations as two RHS columns of one factorization."""
+    fwd, _ = ctx.solve(np.array([freq]), rhs=np.stack([b_signal, b_disturb], axis=1))
+    h = np.abs(ctx.probe(fwd, out_p, out_n)[0])
+    h_sig, h_dist = float(h[0]), float(h[1])
+    ratio = h_sig / max(h_dist, 1e-30)
+    return RejectionResult(freq, h_sig, h_dist, 20.0 * float(np.log10(ratio)))
+
+
 def measure_psrr(
     circuit: Circuit,
     supply_source: str,
@@ -54,33 +62,35 @@ def measure_psrr(
 ) -> RejectionResult:
     """PSRR at one frequency: signal gain over supply-ripple gain.
 
-    Restores every source's AC stimulus afterwards, so the circuit can be
-    reused for further measurements.
+    Both excitations are solved as two RHS columns of the *same*
+    factorization (one linearisation, one LU at ``freq``).  Restores
+    every source's AC stimulus afterwards, so the circuit can be reused
+    for further measurements.
     """
     ins = _signal_sources(circuit, input_sources)
     sup = _signal_sources(circuit, (supply_source,))[0]
     saved = [(el, el.ac, el.ac_phase) for el in (*ins, sup)]
     try:
         op = dc_operating_point(circuit, temp_c=temp_c)
+        ctx = op.small_signal()
 
-        # Signal gain with the normal differential stimulus.
+        # Column 0: the normal differential stimulus, supply quiet.
         for el, ac, ph in saved:
             el.ac, el.ac_phase = ac, ph
         sup.ac = 0.0
-        h_sig = abs(ac_analysis(op, np.array([freq])).vdiff(out_p, out_n)[0])
+        b_sig = ctx.rhs_ac().copy()
 
-        # Disturbance gain: ripple only on the supply.
+        # Column 1: unit ripple on the supply only.
         for el in ins:
             el.ac = 0.0
         sup.ac = 1.0
         sup.ac_phase = 0.0
-        h_sup = abs(ac_analysis(op, np.array([freq])).vdiff(out_p, out_n)[0])
+        b_sup = ctx.rhs_ac().copy()
     finally:
         for el, ac, ph in saved:
             el.ac, el.ac_phase = ac, ph
 
-    ratio = h_sig / max(h_sup, 1e-30)
-    return RejectionResult(freq, h_sig, h_sup, 20.0 * float(np.log10(ratio)))
+    return _rejection(ctx, freq, b_sig, b_sup, out_p, out_n)
 
 
 def measure_cmrr(
@@ -91,27 +101,27 @@ def measure_cmrr(
     freq: float = 1e3,
     temp_c: float = 25.0,
 ) -> RejectionResult:
-    """CMRR: differential gain over common-mode gain."""
+    """CMRR: differential gain over common-mode gain (one factorization)."""
     el_p, el_n = _signal_sources(circuit, input_sources)
     saved = [(el, el.ac, el.ac_phase) for el in (el_p, el_n)]
     try:
         op = dc_operating_point(circuit, temp_c=temp_c)
+        ctx = op.small_signal()
 
         for el, ac, ph in saved:
             el.ac, el.ac_phase = ac, ph
-        h_diff = abs(ac_analysis(op, np.array([freq])).vdiff(out_p, out_n)[0])
+        b_diff = ctx.rhs_ac().copy()
 
         # Common-mode drive: both inputs in phase, unit amplitude.
         for el in (el_p, el_n):
             el.ac = 1.0
             el.ac_phase = 0.0
-        h_cm = abs(ac_analysis(op, np.array([freq])).vdiff(out_p, out_n)[0])
+        b_cm = ctx.rhs_ac().copy()
     finally:
         for el, ac, ph in saved:
             el.ac, el.ac_phase = ac, ph
 
-    ratio = h_diff / max(h_cm, 1e-30)
-    return RejectionResult(freq, h_diff, h_cm, 20.0 * float(np.log10(ratio)))
+    return _rejection(ctx, freq, b_diff, b_cm, out_p, out_n)
 
 
 def psrr_monte_carlo(

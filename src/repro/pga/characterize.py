@@ -27,7 +27,6 @@ from repro.circuits.powerbuffer import build_power_buffer
 from repro.layout.area import estimate_mic_amp_area_mm2
 from repro.process.mismatch import MismatchSampler
 from repro.process.technology import Technology
-from repro.spice.ac import ac_analysis
 from repro.spice.analysis import log_freqs
 from repro.spice.dc import dc_operating_point
 from repro.spice.noise import noise_analysis
@@ -106,8 +105,8 @@ def characterize_mic_amp(
             d_sup = build_mic_amp(tech, gain_code=5,
                                   vdd=total_supply / 2, vss=-total_supply / 2)
             op_s = dc_operating_point(d_sup.circuit)
-            ac = ac_analysis(op_s, np.array([1e3]))
-            g_db = 20 * math.log10(abs(ac.vdiff(d_sup.outp, d_sup.outn)[0]))
+            h = op_s.small_signal().transfer(np.array([1e3]), d_sup.outp, d_sup.outn)
+            g_db = 20 * math.log10(abs(h[0]))
         except Exception:
             # Below some supply the circuit cannot even be built (switch
             # overdrive collapses) or has no operating point: both count

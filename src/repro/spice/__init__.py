@@ -33,6 +33,12 @@ from repro.spice.devices.bjt import BjtModel
 from repro.spice.devices.diode import DiodeModel
 from repro.spice.dc import OperatingPoint, dc_operating_point, dc_sweep
 from repro.spice.ac import ac_analysis, transfer_function
+from repro.spice.linsolve import (
+    SmallSignalContext,
+    SpectralSolver,
+    solve_looped,
+    solve_stacked,
+)
 from repro.spice.transient import transient_analysis
 from repro.spice.noise import noise_analysis
 from repro.spice.analysis import Simulator
@@ -57,6 +63,8 @@ __all__ = [
     "Resistor",
     "Simulator",
     "Sine",
+    "SmallSignalContext",
+    "SpectralSolver",
     "Spectrum",
     "Switch",
     "Vccs",
@@ -67,6 +75,8 @@ __all__ = [
     "dc_operating_point",
     "dc_sweep",
     "noise_analysis",
+    "solve_looped",
+    "solve_stacked",
     "transfer_function",
     "transient_analysis",
 ]

@@ -1,8 +1,10 @@
 """Small-signal AC analysis.
 
-The circuit is linearised at a DC operating point and ``(G + jwC) x = b``
-is solved per frequency.  Output specifiers accept node names,
-``"v(p,n)"`` differential pairs and ``"i(element)"`` branch currents.
+The circuit is linearised at a DC operating point (once, via the cached
+:class:`~repro.spice.linsolve.SmallSignalContext`) and ``(G + jwC) x = b``
+is solved for all frequencies in one frequency-stacked batched
+factorization.  Output specifiers accept node names, ``"v(p,n)"``
+differential pairs and ``"i(element)"`` branch currents.
 """
 
 from __future__ import annotations
@@ -49,6 +51,14 @@ def ac_analysis(op: OperatingPoint, freqs: np.ndarray) -> AcResult:
     The stimulus is every source's ``ac`` attribute (standard SPICE
     semantics: set ``ac=1`` on the input you care about).
     """
+    freqs = np.asarray(freqs, dtype=float)
+    ctx = op.small_signal()
+    return AcResult(op.system, freqs, ctx.ac_solutions(freqs))
+
+
+def _ac_analysis_looped(op: OperatingPoint, freqs: np.ndarray) -> AcResult:
+    """Seed-style reference path: re-linearize, one dense solve per
+    frequency.  Kept for the equivalence tests and the perf benchmark."""
     system = op.system
     n = system.size
     freqs = np.asarray(freqs, dtype=float)

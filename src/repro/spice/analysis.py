@@ -55,6 +55,14 @@ class Simulator:
             self._op = dc_operating_point(self.system, options=self.options)
         return self._op
 
+    def small_signal(self):
+        """The operating point's cached small-signal context.
+
+        AC, noise and transfer probes issued through this simulator all
+        share the one linearisation held here.
+        """
+        return self.op().small_signal()
+
     def ac(self, freqs: np.ndarray) -> AcResult:
         return ac_analysis(self.op(), np.asarray(freqs, dtype=float))
 

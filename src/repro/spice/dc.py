@@ -71,6 +71,20 @@ class OperatingPoint:
         self.x = x_ext
         self.iterations = iterations
         self.strategy = strategy
+        self._small_signal = None
+
+    def small_signal(self):
+        """Cached :class:`repro.spice.linsolve.SmallSignalContext`.
+
+        Every small-signal analysis (AC, noise, PSRR/CMRR, transfer
+        probes) shares this one linearisation instead of re-calling
+        ``system.linearize`` per metric.
+        """
+        if self._small_signal is None:
+            from repro.spice.linsolve import SmallSignalContext
+
+            self._small_signal = SmallSignalContext(self)
+        return self._small_signal
 
     def v(self, node: str) -> float:
         """Node voltage [V]."""

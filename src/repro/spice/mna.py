@@ -261,43 +261,116 @@ class MnaSystem:
                 self.c_static[b, b] += c
 
     def _prepare_index_arrays(self) -> None:
-        """Precompute fancy-index arrays for vectorised Jacobian stamping."""
+        """Precompute flat COO stamp-index arrays for the device groups.
+
+        Jacobian entries are addressed as flat indices into the extended
+        (dim x dim) matrix: ``row*dim + col``.  BJT and diode stamp
+        positions are fully static, so their 9/4 per-device entries
+        collapse into one concatenated index array and a single
+        ``np.add.at`` per Newton iteration.  MOS rows depend on the
+        source/drain swap, so the row bases ``d*dim``/``s*dim`` are
+        cached and the per-iteration work is a ``where`` selection into a
+        preallocated (8, n_mos) buffer instead of recomputing the
+        products from scratch.
+        """
+        dim = self.size + 1
+
         if self.mos_group is not None:
             grp = self.mos_group
-            # Jacobian entries are addressed as flat indices into the
-            # extended (dim x dim) matrix: row*dim + col.
-            self._mos_dim = self.size + 1
+            self._mos_row_d = grp.d * dim
+            self._mos_row_s = grp.s * dim
+            self._mos_idx_buf = np.empty((8, len(grp)), dtype=np.intp)
+            self._mos_val_buf = np.empty((8, len(grp)))
 
         if self.bjt_group is not None:
-            pass  # BJT counts are small; per-row add.at is fine
+            grp = self.bjt_group
+            c, b, e = grp.c * dim, grp.b * dim, grp.e * dim
+            self._bjt_idx = np.concatenate([
+                c + grp.b, c + grp.c, c + grp.e,
+                b + grp.b, b + grp.c, b + grp.e,
+                e + grp.b, e + grp.c, e + grp.e,
+            ])
+
+        if self.diode_group is not None:
+            grp = self.diode_group
+            a, b = grp.np_idx, grp.nn_idx
+            self._diode_idx = np.concatenate([
+                a * dim + a, a * dim + b, b * dim + a, b * dim + b,
+            ])
+
+        # Source topology for the cached right-hand sides.
+        self._vs_branch_idx = np.array(
+            [self.branch(src.name) for src in self.vsources], dtype=np.intp
+        )
+        self._is_np_idx = np.array(
+            [self.node(src.np) for src in self.isources], dtype=np.intp
+        )
+        self._is_nn_idx = np.array(
+            [self.node(src.nn) for src in self.isources], dtype=np.intp
+        )
+        self._rhs_dc_key: tuple | None = None
+        self._rhs_dc_cache: np.ndarray | None = None
+        self._rhs_ac_key: tuple | None = None
+        self._rhs_ac_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Right-hand sides
     # ------------------------------------------------------------------
     def rhs_dc(self, scale: float = 1.0) -> np.ndarray:
-        """DC excitation vector (extended)."""
+        """DC excitation vector (extended); cached, treat as read-only.
+
+        The cache key snapshots every source's DC value, so mutating a
+        source (gain switching, sweeps, source stepping via ``scale``)
+        invalidates automatically on the next call.
+        """
+        key = (
+            scale,
+            tuple(src.dc for src in self.vsources),
+            tuple(src.dc for src in self.isources),
+        )
+        if self._rhs_dc_cache is not None and key == self._rhs_dc_key:
+            return self._rhs_dc_cache
+
         b = np.zeros(self.size + 1)
-        for src in self.vsources:
-            b[self.branch(src.name)] += scale * src.dc
-        for src in self.isources:
-            a, c = self.node(src.np), self.node(src.nn)
-            b[a] -= scale * src.dc
-            b[c] += scale * src.dc
+        if self.vsources:
+            b[self._vs_branch_idx] = scale * np.array(key[1])
+        if self.isources:
+            vals = scale * np.array(key[2])
+            np.subtract.at(b, self._is_np_idx, vals)
+            np.add.at(b, self._is_nn_idx, vals)
+        b[self.ground_index] = 0.0
+        b.setflags(write=False)  # callers must copy() before mutating
+        self._rhs_dc_key = key
+        self._rhs_dc_cache = b
         return b
 
     def rhs_ac(self) -> np.ndarray:
-        """Complex AC excitation vector (extended)."""
+        """Complex AC excitation vector (extended); cached, treat as read-only.
+
+        Invalidation mirrors :meth:`rhs_dc`: the key snapshots every
+        source's ``(ac, ac_phase)`` pair, which the PSRR/CMRR drivers
+        mutate between solves.
+        """
+        key = (
+            tuple((src.ac, src.ac_phase) for src in self.vsources),
+            tuple((src.ac, src.ac_phase) for src in self.isources),
+        )
+        if self._rhs_ac_cache is not None and key == self._rhs_ac_key:
+            return self._rhs_ac_cache
+
         b = np.zeros(self.size + 1, dtype=complex)
-        for src in self.vsources:
+        for src, j in zip(self.vsources, self._vs_branch_idx):
+            if src.ac != 0.0:
+                b[j] += src.ac * np.exp(1j * src.ac_phase)
+        for src, a, c in zip(self.isources, self._is_np_idx, self._is_nn_idx):
             if src.ac != 0.0:
                 phasor = src.ac * np.exp(1j * src.ac_phase)
-                b[self.branch(src.name)] += phasor
-        for src in self.isources:
-            if src.ac != 0.0:
-                phasor = src.ac * np.exp(1j * src.ac_phase)
-                a, c = self.node(src.np), self.node(src.nn)
                 b[a] -= phasor
                 b[c] += phasor
+        b[self.ground_index] = 0.0
+        b.setflags(write=False)  # callers must copy() before mutating
+        self._rhs_ac_key = key
+        self._rhs_ac_cache = b
         return b
 
     def rhs_transient(self, t: float) -> np.ndarray:
@@ -358,8 +431,9 @@ class MnaSystem:
 
     def _stamp_mos(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
         grp = self.mos_group
-        eff_d = np.where(ev.swapped, grp.s, grp.d)
-        eff_s = np.where(ev.swapped, grp.d, grp.s)
+        sw = ev.swapped
+        eff_d = np.where(sw, grp.s, grp.d)
+        eff_s = np.where(sw, grp.d, grp.s)
         gm, gds, gmb = ev.gm, ev.gds, ev.gmb
         gss = gm + gds + gmb
         ids_into_eff_drain = grp.sign * ev.ids  # physical current into eff_d
@@ -367,18 +441,29 @@ class MnaSystem:
         np.add.at(resid, eff_d, ids_into_eff_drain)
         np.add.at(resid, eff_s, -ids_into_eff_drain)
 
-        dim = self.size + 1
-        flat = jac.reshape(-1)
-        rows_d = eff_d * dim
-        rows_s = eff_s * dim
-        np.add.at(flat, rows_d + eff_d, gds)
-        np.add.at(flat, rows_d + grp.g, gm)
-        np.add.at(flat, rows_d + eff_s, -gss)
-        np.add.at(flat, rows_d + grp.b, gmb)
-        np.add.at(flat, rows_s + eff_d, -gds)
-        np.add.at(flat, rows_s + grp.g, -gm)
-        np.add.at(flat, rows_s + eff_s, gss)
-        np.add.at(flat, rows_s + grp.b, -gmb)
+        # Only the effective row/column selection depends on the per-
+        # iteration swap state; the row bases and scratch buffers come
+        # precomputed from _prepare_index_arrays.
+        rows_d = np.where(sw, self._mos_row_s, self._mos_row_d)
+        rows_s = np.where(sw, self._mos_row_d, self._mos_row_s)
+        idx, vals = self._mos_idx_buf, self._mos_val_buf
+        np.add(rows_d, eff_d, out=idx[0])
+        np.add(rows_d, grp.g, out=idx[1])
+        np.add(rows_d, eff_s, out=idx[2])
+        np.add(rows_d, grp.b, out=idx[3])
+        np.add(rows_s, eff_d, out=idx[4])
+        np.add(rows_s, grp.g, out=idx[5])
+        np.add(rows_s, eff_s, out=idx[6])
+        np.add(rows_s, grp.b, out=idx[7])
+        vals[0] = gds
+        vals[1] = gm
+        np.negative(gss, out=vals[2])
+        vals[3] = gmb
+        np.negative(gds, out=vals[4])
+        np.negative(gm, out=vals[5])
+        vals[6] = gss
+        np.negative(gmb, out=vals[7])
+        np.add.at(jac.reshape(-1), idx.reshape(-1), vals.reshape(-1))
 
     def _stamp_bjt(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
         grp = self.bjt_group
@@ -387,33 +472,21 @@ class MnaSystem:
         np.add.at(resid, b, ev.ib)
         np.add.at(resid, e, -(ev.ic + ev.ib))
 
-        dim = self.size + 1
-        flat = jac.reshape(-1)
         gm, gpi, go, gmu = ev.gm, ev.gpi, ev.go, ev.gmu
-        rows_c = c * dim
-        rows_b = b * dim
-        rows_e = e * dim
-        np.add.at(flat, rows_c + b, gm - go)
-        np.add.at(flat, rows_c + c, go)
-        np.add.at(flat, rows_c + e, -gm)
-        np.add.at(flat, rows_b + b, gpi + gmu)
-        np.add.at(flat, rows_b + c, -gmu)
-        np.add.at(flat, rows_b + e, -gpi)
-        np.add.at(flat, rows_e + b, -(gm - go) - (gpi + gmu))
-        np.add.at(flat, rows_e + c, -go + gmu)
-        np.add.at(flat, rows_e + e, gm + gpi)
+        vals = np.concatenate([
+            gm - go, go, -gm,
+            gpi + gmu, -gmu, -gpi,
+            -(gm - go) - (gpi + gmu), -go + gmu, gm + gpi,
+        ])
+        np.add.at(jac.reshape(-1), self._bjt_idx, vals)
 
     def _stamp_diode(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
         grp = self.diode_group
         a, b = grp.np_idx, grp.nn_idx
         np.add.at(resid, a, ev.current)
         np.add.at(resid, b, -ev.current)
-        dim = self.size + 1
-        flat = jac.reshape(-1)
-        np.add.at(flat, a * dim + a, ev.gd)
-        np.add.at(flat, a * dim + b, -ev.gd)
-        np.add.at(flat, b * dim + a, -ev.gd)
-        np.add.at(flat, b * dim + b, ev.gd)
+        vals = np.concatenate([ev.gd, -ev.gd, -ev.gd, ev.gd])
+        np.add.at(jac.reshape(-1), self._diode_idx, vals)
 
     # ------------------------------------------------------------------
     # Small-signal linearisation and noise

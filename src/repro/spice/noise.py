@@ -7,6 +7,12 @@ noise PSD is a dot product over the noise-source list.  The signal
 transfer ``H`` (for input-referring) falls out of the same factorisation:
 ``H = e_out^T A^-1 b_in = psi^T b_in``.
 
+All frequencies are solved in one frequency-stacked batched
+factorization (:mod:`repro.spice.linsolve`), and the per-source PSD and
+contribution-grouping arithmetic is vectorised over the whole
+``(n_source, n_freq)`` grid; the noise-source enumeration and its group
+index arrays are cached on the operating point's small-signal context.
+
 This mirrors how the paper reasons about noise: every device contributes
 ``|transfer|^2 * S_i`` and the budget is the ranked sum (Sec. 3.1/3.2).
 """
@@ -101,6 +107,51 @@ def _integrate_band(freqs: np.ndarray, psd: np.ndarray, f_lo: float, f_hi: float
     return float(np.trapezoid(vals, grid))
 
 
+@dataclass
+class _NoiseSourcePack:
+    """Noise-source enumeration flattened to arrays, plus group indices.
+
+    ``group_ids[j]`` maps source ``j`` to its (device, mechanism) group so
+    the contribution breakdown is one ``np.add.at`` over the whole
+    ``(n_source, n_freq)`` grid instead of a dict-merge loop per source.
+    """
+
+    sources: list
+    idx_a: np.ndarray          # extended node index of each source's + node
+    idx_b: np.ndarray
+    psd_flat: np.ndarray
+    psd_flicker: np.ndarray
+    af: np.ndarray
+    flicker_mask: np.ndarray   # sources with a nonzero 1/f part
+    group_keys: list[tuple[str, str]]
+    group_ids: np.ndarray
+
+
+def _noise_pack(ctx) -> _NoiseSourcePack:
+    """Build (or fetch from the context cache) the flattened source pack."""
+    pack = ctx.cache.get("noise_pack")
+    if pack is not None:
+        return pack
+    sources = ctx.system.noise_sources(ctx.op.x)
+    keys = [(s.device, s.mechanism) for s in sources]
+    group_keys = list(dict.fromkeys(keys))
+    key_to_id = {key: i for i, key in enumerate(group_keys)}
+    psd_flicker = np.array([s.psd_flicker for s in sources])
+    pack = _NoiseSourcePack(
+        sources=sources,
+        idx_a=np.array([s.node_a for s in sources], dtype=np.intp),
+        idx_b=np.array([s.node_b for s in sources], dtype=np.intp),
+        psd_flat=np.array([s.psd_flat for s in sources]),
+        psd_flicker=psd_flicker,
+        af=np.array([s.af for s in sources]),
+        flicker_mask=psd_flicker != 0.0,
+        group_keys=group_keys,
+        group_ids=np.array([key_to_id[key] for key in keys], dtype=np.intp),
+    )
+    ctx.cache["noise_pack"] = pack
+    return pack
+
+
 def noise_analysis(
     op: OperatingPoint,
     freqs: np.ndarray,
@@ -114,6 +165,63 @@ def noise_analysis(
     ``|H|^2``, matching the paper's "equivalent input referred" metric at
     the closed-loop gain in effect.
     """
+    freqs = np.asarray(freqs, dtype=float)
+    ctx = op.small_signal()
+    system = op.system
+
+    b_in = ctx.rhs_ac()
+    if not np.any(b_in):
+        raise ValueError(
+            "no AC stimulus configured; set ac=1 on the input source so the "
+            "noise can be input-referred"
+        )
+    e_out = ctx.output_selector(out_p, out_n)
+    pack = _noise_pack(ctx)
+
+    # Adjoint: A^T psi = e_out (plain transpose, not conjugate); one
+    # batched factorization covers every frequency.
+    _, adj = ctx.solve(freqs, adjoint_rhs=e_out)
+    psi = adj[:, :, 0]                               # (n_freq, n)
+    gain = np.abs(psi @ b_in)
+
+    n_freq = len(freqs)
+    psi_ext = np.zeros((n_freq, system.size + 1), dtype=complex)
+    psi_ext[:, : system.size] = psi
+    transfer_sq = np.abs(psi_ext[:, pack.idx_a] - psi_ext[:, pack.idx_b]) ** 2
+
+    psd_f = np.broadcast_to(pack.psd_flat, (n_freq, len(pack.sources))).copy()
+    fl = pack.flicker_mask
+    if np.any(fl):
+        psd_f[:, fl] += pack.psd_flicker[fl] / freqs[:, None] ** pack.af[fl]
+
+    contrib = (transfer_sq * psd_f).T                # (n_source, n_freq)
+    output_psd = contrib.sum(axis=0)
+
+    safe_gain_sq = np.maximum(gain, 1e-300) ** 2
+    input_psd = output_psd / safe_gain_sq
+
+    group_psd = np.zeros((len(pack.group_keys), n_freq))
+    np.add.at(group_psd, pack.group_ids, contrib)
+    by_key = {key: group_psd[i] for i, key in enumerate(pack.group_keys)}
+
+    return NoiseResult(
+        freqs=freqs,
+        output_psd=output_psd,
+        gain=gain,
+        input_psd=input_psd,
+        contributions=by_key,
+    )
+
+
+def _noise_analysis_looped(
+    op: OperatingPoint,
+    freqs: np.ndarray,
+    out_p: str,
+    out_n: str | None = None,
+) -> NoiseResult:
+    """Seed-style reference path: re-linearize, one LU per frequency and a
+    dict-merge grouping loop.  Kept for the equivalence tests and the
+    perf benchmark."""
     system = op.system
     n = system.size
     freqs = np.asarray(freqs, dtype=float)
@@ -134,8 +242,8 @@ def noise_analysis(
         e_out[system.node(out_n)] -= 1.0
 
     sources = system.noise_sources(op.x)
-    idx_a = np.array([s.node_a for s in sources])
-    idx_b = np.array([s.node_b for s in sources])
+    idx_a = np.array([s.node_a for s in sources], dtype=np.intp)
+    idx_b = np.array([s.node_b for s in sources], dtype=np.intp)
     psd_flat = np.array([s.psd_flat for s in sources])
     psd_flicker = np.array([s.psd_flicker for s in sources])
     af = np.array([s.af for s in sources])
@@ -148,7 +256,6 @@ def noise_analysis(
     for k, f in enumerate(freqs):
         a = g + 2j * np.pi * f * c
         lu, piv = sla.lu_factor(a)
-        # Adjoint: A^T psi = e_out (plain transpose, not conjugate).
         psi = sla.lu_solve((lu, piv), e_out.astype(complex), trans=1)
         psi_ext = np.append(psi, 0.0)  # ground slot
         gain[k] = abs(np.dot(psi, b_in))

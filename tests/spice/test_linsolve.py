@@ -1,0 +1,255 @@
+"""Batched small-signal engine: equivalence against the looped reference.
+
+The batched frequency-stacked path must bit-match (rtol=1e-9) the kept
+per-frequency reference path on the real paper circuits — any deviation
+means the shared factorization or the vectorised PSD bookkeeping broke.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.psrr import _signal_sources, measure_psrr
+from repro.circuits.micamp import build_mic_amp
+from repro.process import CMOS12
+from repro.spice import Circuit, ac_analysis, dc_operating_point, noise_analysis
+from repro.spice.ac import _ac_analysis_looped
+from repro.spice.analysis import log_freqs
+from repro.spice.linsolve import SpectralSolver, solve_looped, solve_stacked
+from repro.spice.noise import _integrate_band, _noise_analysis_looped
+
+FREQS = log_freqs(10.0, 1e6, 10)
+
+
+def assert_solutions_close(actual, expected, rtol=1e-9):
+    """rtol=1e-9 equivalence with an atol floor at 1e-12 of the solution
+    scale, so numerically-meaningless tiny entries don't dominate."""
+    atol = 1e-12 * float(np.abs(expected).max())
+    np.testing.assert_allclose(actual, expected, rtol=rtol, atol=atol)
+
+
+class TestSolveStacked:
+    def _random_system(self, n=7, seed=3):
+        rng = np.random.default_rng(seed)
+        g = rng.standard_normal((n, n)) + n * np.eye(n)
+        c = rng.standard_normal((n, n)) * 1e-6
+        return g, c
+
+    def test_forward_and_adjoint_match_dense_solve(self):
+        g, c = self._random_system()
+        freqs = np.array([10.0, 1e3, 1e5])
+        rhs = np.arange(7.0)
+        adj = np.eye(7)[:, :2]
+        fwd, psi = solve_stacked(g, c, freqs, rhs=rhs, adjoint_rhs=adj)
+        for k, f in enumerate(freqs):
+            a = g + 2j * np.pi * f * c
+            np.testing.assert_allclose(fwd[k, :, 0], np.linalg.solve(a, rhs), rtol=1e-9)
+            np.testing.assert_allclose(psi[k], np.linalg.solve(a.T, adj), rtol=1e-9)
+
+    def test_chunking_is_invisible(self):
+        g, c = self._random_system()
+        freqs = np.logspace(0, 6, 17)
+        rhs = np.ones(7)
+        a1, _ = solve_stacked(g, c, freqs, rhs=rhs, chunk=3)
+        a2, _ = solve_stacked(g, c, freqs, rhs=rhs, chunk=64)
+        a3, _ = solve_looped(g, c, freqs, rhs=rhs)
+        np.testing.assert_allclose(a1, a2, rtol=1e-12)
+        np.testing.assert_allclose(a1, a3, rtol=1e-9)
+
+    def test_requires_some_rhs(self):
+        g, c = self._random_system()
+        with pytest.raises(ValueError, match="at least one"):
+            solve_stacked(g, c, np.array([1.0]))
+
+
+class TestSpectralSolver:
+    """The Schur fast path against the looped LU reference on the real
+    paper circuits (dense sweeps route through it automatically)."""
+
+    def _gcb(self, op):
+        ctx = op.small_signal()
+        return ctx.g, ctx.c, ctx.rhs_ac()
+
+    @pytest.mark.parametrize("which", ["micamp", "buffer"])
+    def test_forward_and_adjoint_match_looped(self, which, request):
+        request.getfixturevalue("mic_amp_40db" if which == "micamp" else "buffer_inverting")
+        op = request.getfixturevalue("mic_amp_op" if which == "micamp" else "buffer_op")
+        g, c, b = self._gcb(op)
+        e = op.small_signal().output_selector(
+            op.system.node_names[0], op.system.node_names[1]
+        )
+        solver = SpectralSolver(g, c)
+        result = solver.solve(FREQS, rhs=b, adjoint_rhs=e)
+        assert result is not None, "residual check must accept the paper circuits"
+        fwd, adj = result
+        fwd_ref, adj_ref = solve_looped(g, c, FREQS, rhs=b, adjoint_rhs=e)
+        assert_solutions_close(fwd, fwd_ref)
+        assert_solutions_close(adj, adj_ref)
+
+    def test_context_routes_dense_sweeps_through_spectral(self, mic_amp_40db, mic_amp_op):
+        ctx = mic_amp_op.small_signal()
+        assert len(FREQS) >= 16
+        ctx.solve(FREQS, rhs=ctx.rhs_ac())
+        assert ctx._spectral is not None  # cached after first dense sweep
+        # single-frequency probes stay on the LU path and also agree
+        one = np.array([1e3])
+        fwd, _ = ctx.solve(one, rhs=ctx.rhs_ac())
+        ref, _ = solve_looped(ctx.g, ctx.c, one, rhs=ctx.rhs_ac())
+        assert_solutions_close(fwd, ref)
+
+
+class TestAcEquivalence:
+    def test_micamp_batched_matches_looped(self, mic_amp_40db, mic_amp_op):
+        batched = ac_analysis(mic_amp_op, FREQS)
+        looped = _ac_analysis_looped(mic_amp_op, FREQS)
+        assert_solutions_close(batched._x, looped._x)
+
+    def test_powerbuffer_batched_matches_looped(self, buffer_inverting, buffer_op):
+        batched = ac_analysis(buffer_op, FREQS)
+        looped = _ac_analysis_looped(buffer_op, FREQS)
+        assert_solutions_close(batched._x, looped._x)
+
+
+class TestNoiseEquivalence:
+    def _check(self, op, out_p, out_n):
+        freqs = log_freqs(10.0, 100e3, 8)
+        batched = noise_analysis(op, freqs, out_p, out_n)
+        looped = _noise_analysis_looped(op, freqs, out_p, out_n)
+        np.testing.assert_allclose(batched.output_psd, looped.output_psd, rtol=1e-9)
+        np.testing.assert_allclose(batched.gain, looped.gain, rtol=1e-9)
+        np.testing.assert_allclose(batched.input_psd, looped.input_psd, rtol=1e-9)
+        assert set(batched.contributions) == set(looped.contributions)
+        # negligible contributions get an atol floor: their transimpedance
+        # is a near-cancelling difference, where elementwise rtol is
+        # numerically meaningless
+        atol = 1e-12 * float(looped.output_psd.max())
+        for key, psd in looped.contributions.items():
+            np.testing.assert_allclose(
+                batched.contributions[key], psd, rtol=1e-9, atol=atol
+            )
+
+    def test_micamp(self, mic_amp_40db, mic_amp_op):
+        self._check(mic_amp_op, mic_amp_40db.outp, mic_amp_40db.outn)
+
+    def test_powerbuffer(self, buffer_inverting, buffer_op):
+        self._check(buffer_op, buffer_inverting.outp, buffer_inverting.outn)
+
+
+def _seed_style_psrr(circuit, supply_source, input_sources, out_p, out_n, freq):
+    """The pre-batching PSRR procedure: two full looped AC analyses."""
+    ins = _signal_sources(circuit, input_sources)
+    sup = _signal_sources(circuit, (supply_source,))[0]
+    saved = [(el, el.ac, el.ac_phase) for el in (*ins, sup)]
+    try:
+        op = dc_operating_point(circuit)
+        for el, ac, ph in saved:
+            el.ac, el.ac_phase = ac, ph
+        sup.ac = 0.0
+        h_sig = abs(_ac_analysis_looped(op, np.array([freq])).vdiff(out_p, out_n)[0])
+        for el in ins:
+            el.ac = 0.0
+        sup.ac = 1.0
+        sup.ac_phase = 0.0
+        h_sup = abs(_ac_analysis_looped(op, np.array([freq])).vdiff(out_p, out_n)[0])
+    finally:
+        for el, ac, ph in saved:
+            el.ac, el.ac_phase = ac, ph
+    return h_sig, h_sup
+
+
+class TestPsrrEquivalence:
+    def test_micamp_multi_rhs_matches_seed_path(self):
+        design = build_mic_amp(CMOS12, gain_code=5)
+        res = measure_psrr(
+            design.circuit, "vdd_src", ("vin_p", "vin_n"), design.outp, design.outn
+        )
+        h_sig, h_sup = _seed_style_psrr(
+            design.circuit, "vdd_src", ("vin_p", "vin_n"),
+            design.outp, design.outn, 1e3,
+        )
+        assert res.gain_signal == pytest.approx(h_sig, rel=1e-9)
+        assert res.gain_disturb == pytest.approx(h_sup, rel=1e-9)
+
+    def test_sources_restored(self):
+        design = build_mic_amp(CMOS12, gain_code=5)
+        before = [(el.name, el.ac, el.ac_phase)
+                  for el in design.circuit if hasattr(el, "ac")]
+        measure_psrr(
+            design.circuit, "vdd_src", ("vin_p", "vin_n"), design.outp, design.outn
+        )
+        after = [(el.name, el.ac, el.ac_phase)
+                 for el in design.circuit if hasattr(el, "ac")]
+        assert before == after
+
+
+class TestRhsCaching:
+    def _circuit(self):
+        ckt = Circuit("rhs_cache")
+        ckt.vsource("v1", "a", "gnd", dc=1.0, ac=1.0)
+        ckt.isource("i1", "a", "b", dc=2e-3)
+        ckt.resistor("r1", "a", "b", 1e3)
+        ckt.resistor("r2", "b", "gnd", 1e3)
+        return ckt
+
+    def test_rhs_dc_cache_hit_and_invalidation(self):
+        ckt = self._circuit()
+        system = ckt.compile()
+        b1 = system.rhs_dc()
+        assert system.rhs_dc() is b1  # cache hit: same array object
+        ckt.element("v1").dc = 2.5
+        b2 = system.rhs_dc()
+        assert b2 is not b1
+        assert b2[system.branch("v1")] == pytest.approx(2.5)
+        # scale participates in the key (source stepping)
+        b_half = system.rhs_dc(scale=0.5)
+        assert b_half[system.branch("v1")] == pytest.approx(1.25)
+
+    def test_rhs_dc_matches_hand_stamp(self):
+        ckt = self._circuit()
+        system = ckt.compile()
+        b = system.rhs_dc()
+        expected = np.zeros(system.size + 1)
+        expected[system.branch("v1")] = 1.0
+        expected[system.node("a")] -= 2e-3
+        expected[system.node("b")] += 2e-3
+        np.testing.assert_allclose(b, expected)
+
+    def test_rhs_ac_cache_hit_and_invalidation(self):
+        ckt = self._circuit()
+        system = ckt.compile()
+        b1 = system.rhs_ac()
+        assert system.rhs_ac() is b1
+        ckt.element("v1").ac = 0.25
+        b2 = system.rhs_ac()
+        assert b2 is not b1
+        assert b2[system.branch("v1")] == pytest.approx(0.25)
+        ckt.element("v1").ac_phase = np.pi
+        b3 = system.rhs_ac()
+        assert b3[system.branch("v1")] == pytest.approx(-0.25)
+
+
+class TestIntegrateBandRegression:
+    """Band-edge interpolation of _integrate_band, pinned analytically."""
+
+    FREQS = np.array([10.0, 100.0, 1000.0])
+    PSD = np.array([1.0, 2.0, 3.0])
+
+    def test_edges_between_samples(self):
+        # interp(30)=11/9, interp(300)=20/9; trapezoids over [30,100,300]
+        expected = (11 / 9 + 2.0) / 2 * 70 + (2.0 + 20 / 9) / 2 * 200
+        assert _integrate_band(self.FREQS, self.PSD, 30.0, 300.0) == pytest.approx(
+            expected, rel=1e-12
+        )
+        assert expected == pytest.approx(535.0)
+
+    def test_band_inside_one_segment(self):
+        # both edges inside [10, 100]: pure interpolation, no samples used
+        expected = (4 / 3 + 14 / 9) / 2 * 20
+        assert _integrate_band(self.FREQS, self.PSD, 40.0, 60.0) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_full_span_equals_trapezoid(self):
+        expected = float(np.trapezoid(self.PSD, self.FREQS))
+        assert _integrate_band(self.FREQS, self.PSD, 10.0, 1000.0) == pytest.approx(
+            expected, rel=1e-12
+        )

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.circuits.micamp import build_mic_amp
-from repro.process import apply_corner
+from repro.process import iter_pvt
 from repro.spice.ac import ac_analysis
 from repro.spice.analysis import log_freqs
 from repro.spice.dc import dc_operating_point
@@ -40,15 +40,11 @@ def _measure(tech, temp_c):
 
 
 def test_corners_and_temperature(tech, save_report, benchmark):
-    conditions = [(c, t) for c in ("tt", "ff", "ss", "fs", "sf")
-                  for t in (-20.0, 25.0, 85.0)]
+    points = list(iter_pvt(tech))
 
     def run_all():
-        rows = []
-        for corner, temp in conditions:
-            rows.append((corner, temp,
-                         _measure(apply_corner(tech, corner), temp)))
-        return rows
+        return [(p.corner.name, p.temp_c, _measure(p.tech, p.temp_c))
+                for p in points]
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     lines = ["Table 1 over corners x temperature", "",

@@ -33,8 +33,10 @@ def test_fig2_min_supply_vs_eq1(design, tech, save_report, benchmark):
              "T [degC]   Eq.1 bound [V]   simulated V_smin [V]"]
 
     def sweep_all():
+        from repro.process import CONSUMER_TEMPS_C
+
         out = []
-        for temp in (-20.0, 25.0, 85.0):
+        for temp in CONSUMER_TEMPS_C:
             bound = eq1_min_supply(tech, design.i_nominal,
                                    design.w_nmos / design.l_nmos, temp)
             out.append((temp, bound, _min_supply(design, temp)))

@@ -182,7 +182,16 @@ def main(argv: list[str] | None = None) -> int:
         "scipy": scipy.__version__,
         "results": results,
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    # Merge-preserve: other benches (bench_campaign.py) keep their own
+    # top-level keys in the same trajectory file.
+    merged: dict = {}
+    if args.out.exists():
+        try:
+            merged = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged.update(payload)
+    args.out.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"[bench_perf_engine] wrote {args.out}")
 
     if not args.smoke and results["ac_noise"]["combined_speedup"] < 5.0:

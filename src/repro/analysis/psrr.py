@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.spice.dc import dc_operating_point
+from repro.spice.dc import OperatingPoint, dc_operating_point
 from repro.spice.elements import VoltageSource
 from repro.spice.netlist import Circuit
 
@@ -59,6 +59,7 @@ def measure_psrr(
     out_n: str,
     freq: float = 1e3,
     temp_c: float = 25.0,
+    op: OperatingPoint | None = None,
 ) -> RejectionResult:
     """PSRR at one frequency: signal gain over supply-ripple gain.
 
@@ -66,12 +67,20 @@ def measure_psrr(
     factorization (one linearisation, one LU at ``freq``).  Restores
     every source's AC stimulus afterwards, so the circuit can be reused
     for further measurements.
+
+    Pass a precomputed ``op`` (of the *same* circuit) to reuse its cached
+    :class:`~repro.spice.linsolve.SmallSignalContext` instead of paying a
+    fresh DC solve + linearisation — the campaign engine shares one
+    operating point across every measurement of a work unit this way.
+    ``temp_c`` is ignored when ``op`` is given (the operating point fixes
+    the temperature).
     """
     ins = _signal_sources(circuit, input_sources)
     sup = _signal_sources(circuit, (supply_source,))[0]
     saved = [(el, el.ac, el.ac_phase) for el in (*ins, sup)]
     try:
-        op = dc_operating_point(circuit, temp_c=temp_c)
+        if op is None:
+            op = dc_operating_point(circuit, temp_c=temp_c)
         ctx = op.small_signal()
 
         # Column 0: the normal differential stimulus, supply quiet.
@@ -100,12 +109,18 @@ def measure_cmrr(
     out_n: str,
     freq: float = 1e3,
     temp_c: float = 25.0,
+    op: OperatingPoint | None = None,
 ) -> RejectionResult:
-    """CMRR: differential gain over common-mode gain (one factorization)."""
+    """CMRR: differential gain over common-mode gain (one factorization).
+
+    ``op`` behaves as in :func:`measure_psrr`: a precomputed operating
+    point of the same circuit whose cached linearisation is reused.
+    """
     el_p, el_n = _signal_sources(circuit, input_sources)
     saved = [(el, el.ac, el.ac_phase) for el in (el_p, el_n)]
     try:
-        op = dc_operating_point(circuit, temp_c=temp_c)
+        if op is None:
+            op = dc_operating_point(circuit, temp_c=temp_c)
         ctx = op.small_signal()
 
         for el, ac, ph in saved:

@@ -1,0 +1,155 @@
+"""Circuit-builder registry: names a campaign spec can sweep over.
+
+Each builder adapts one of the paper's blocks to the campaign protocol:
+given a (corner-skewed) technology, a mismatch sampler, an optional
+total supply voltage and an optional gain code, return a
+:class:`BuiltUnit` — the circuit plus the port names every measurement
+needs (differential output, input sources, supply source) and optional
+builder-specific probes (e.g. the bias generator's load resistance).
+
+Builders are addressed by *name* so a :class:`~repro.campaign.spec.CampaignSpec`
+stays picklable; register new ones with :func:`register_builder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.process.mismatch import MismatchSampler
+from repro.process.technology import Technology
+from repro.spice.netlist import Circuit
+
+
+@dataclass
+class BuiltUnit:
+    """A built circuit plus the ports the measurement registry reads."""
+
+    circuit: Circuit
+    out_p: str
+    out_n: str
+    input_sources: tuple[str, ...] = ()
+    supply_source: str = "vdd_src"
+    nominal_gain_db: float | None = None
+    probes: dict[str, float | str] = field(default_factory=dict)
+    design: object | None = None
+
+
+BuilderFn = Callable[[Technology, MismatchSampler, float | None, int | None], BuiltUnit]
+
+BUILDERS: dict[str, BuilderFn] = {}
+
+
+def register_builder(name: str) -> Callable[[BuilderFn], BuilderFn]:
+    """Decorator: expose a builder function to campaign specs as ``name``."""
+
+    def deco(fn: BuilderFn) -> BuilderFn:
+        if name in BUILDERS:
+            raise ValueError(f"builder {name!r} already registered")
+        BUILDERS[name] = fn
+        return fn
+
+    return deco
+
+
+def build_unit_circuit(
+    name: str,
+    tech: Technology,
+    sampler: MismatchSampler,
+    supply: float | None,
+    gain_code: int | None,
+) -> BuiltUnit:
+    """Instantiate builder ``name`` for one work unit."""
+    try:
+        fn = BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown builder {name!r}; available: {sorted(BUILDERS)}") from None
+    return fn(tech, sampler, supply, gain_code)
+
+
+def _split_rails(supply: float | None) -> tuple[float | None, float | None]:
+    """Total supply -> symmetric (vdd, vss); None keeps builder defaults."""
+    if supply is None:
+        return None, None
+    return supply / 2.0, -supply / 2.0
+
+
+@register_builder("micamp")
+def _build_micamp(tech: Technology, sampler: MismatchSampler,
+                  supply: float | None, gain_code: int | None) -> BuiltUnit:
+    """The Figs. 4/5 microphone amplifier; gain codes 0..5 (default 5)."""
+    from repro.circuits.micamp import build_mic_amp
+
+    code = 5 if gain_code is None else gain_code
+    vdd, vss = _split_rails(supply)
+    design = build_mic_amp(tech, gain_code=code, mismatch=sampler, vdd=vdd, vss=vss)
+    return BuiltUnit(
+        circuit=design.circuit,
+        out_p=design.outp,
+        out_n=design.outn,
+        input_sources=("vin_p", "vin_n"),
+        supply_source="vdd_src",
+        nominal_gain_db=design.gain.gain_db(code),
+        design=design,
+    )
+
+
+@register_builder("powerbuffer")
+def _build_powerbuffer(tech: Technology, sampler: MismatchSampler,
+                       supply: float | None, gain_code: int | None) -> BuiltUnit:
+    """The Fig. 8 class-AB line driver (inverting feedback, 50 ohm load)."""
+    from repro.circuits.powerbuffer import build_power_buffer
+
+    if gain_code is not None:
+        raise ValueError("powerbuffer has no gain codes; use gain_codes=(None,)")
+    vdd, vss = _split_rails(supply)
+    design = build_power_buffer(tech, feedback="inverting", load="resistive",
+                                vdd=vdd, vss=vss, mismatch=sampler)
+    return BuiltUnit(
+        circuit=design.circuit,
+        out_p=design.outp,
+        out_n=design.outn,
+        input_sources=("vsrc_p", "vsrc_n"),
+        supply_source="vdd_src",
+        nominal_gain_db=0.0,
+        design=design,
+    )
+
+
+@register_builder("bias")
+def _build_bias(tech: Technology, sampler: MismatchSampler,
+                supply: float | None, gain_code: int | None) -> BuiltUnit:
+    """The Fig. 2 PTAT bias generator; probes carry the load resistance."""
+    from repro.circuits.bias import build_bias_circuit
+
+    if gain_code is not None:
+        raise ValueError("bias has no gain codes; use gain_codes=(None,)")
+    design = build_bias_circuit(tech, supply=supply, mismatch=sampler)
+    return BuiltUnit(
+        circuit=design.circuit,
+        out_p=design.out_node,
+        out_n="gnd",
+        input_sources=(),
+        supply_source="vsup",
+        probes={"iout_node": design.out_node, "r_load": 10e3},
+        design=design,
+    )
+
+
+@register_builder("bandgap")
+def _build_bandgap(tech: Technology, sampler: MismatchSampler,
+                   supply: float | None, gain_code: int | None) -> BuiltUnit:
+    """The Fig. 3 fully differential bandgap reference."""
+    from repro.circuits.bandgap import build_bandgap
+
+    if gain_code is not None:
+        raise ValueError("bandgap has no gain codes; use gain_codes=(None,)")
+    design = build_bandgap(tech, supply=supply, mismatch=sampler)
+    return BuiltUnit(
+        circuit=design.circuit,
+        out_p=design.vrefp,
+        out_n=design.vrefn,
+        input_sources=(),
+        supply_source="vdd_src",
+        design=design,
+    )

@@ -1,0 +1,66 @@
+"""Pluggable campaign executors: serial and chunked process pool.
+
+Both executors consume the same contiguous chunks of the spec's
+deterministic expansion order and return chunk results *in order*, so
+the collected records are identical regardless of executor (the
+determinism tests pin this).  The pool executor exists for multi-core
+hosts: campaign units are independent processes-friendly work (a spec
+chunk pickles to a small message, records are plain floats), and chunked
+dispatch keeps the per-chunk circuit cache effective while amortising
+IPC overhead over many units per message.
+
+On a single-CPU container the pool cannot beat serial (there is nothing
+to run on); ``benchmarks/bench_campaign.py`` records the host CPU count
+next to its serial/parallel throughput numbers for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Iterator
+
+from repro.campaign.runner import run_chunk
+from repro.campaign.spec import CampaignSpec, WorkUnit
+
+
+class SerialExecutor:
+    """Run every chunk in-process, in order."""
+
+    name = "serial"
+
+    def default_chunk_size(self, spec: CampaignSpec) -> int:
+        # One chunk: the shared cache then spans the whole campaign.
+        return max(1, spec.n_units)
+
+    def map_chunks(self, spec: CampaignSpec,
+                   chunks: list[list[WorkUnit]]) -> Iterator[list[dict]]:
+        for chunk in chunks:
+            yield run_chunk(spec, chunk)
+
+
+class ProcessPoolCampaignExecutor:
+    """Dispatch chunks to a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    ``max_workers`` defaults to the host CPU count.  The default chunk
+    size aims at ~4 chunks per worker: small enough to load-balance,
+    large enough that each worker's circuit cache and the one-time
+    import/fork cost amortise over real work.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+
+    def default_chunk_size(self, spec: CampaignSpec) -> int:
+        return max(1, math.ceil(spec.n_units / (4 * self.max_workers)))
+
+    def map_chunks(self, spec: CampaignSpec,
+                   chunks: list[list[WorkUnit]]) -> Iterator[list[dict]]:
+        # partial() of the module-level run_chunk keeps the task picklable;
+        # pool.map preserves chunk order, which from_units relies on.
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            yield from pool.map(partial(run_chunk, spec), chunks)

@@ -1,0 +1,137 @@
+"""Campaign execution: chunk caches, unit runtimes, the `run_campaign` door.
+
+The runner turns expanded :class:`~repro.campaign.spec.WorkUnit`\\ s into
+metric records.  Two levels of sharing keep it fast without ever making
+the numbers depend on how work was chunked or scheduled:
+
+* **Within a unit** — one DC operating point is solved per unit and its
+  cached :class:`~repro.spice.linsolve.SmallSignalContext` serves every
+  measurement (gain probe, PSRR/CMRR injections, noise adjoints): one
+  linearisation + factorization per (corner, temp, supply, seed, code).
+* **Within a chunk** — skewed technologies are cached per corner and
+  built circuits per :meth:`WorkUnit.circuit_key` (which excludes
+  temperature), so the spec's temperature-innermost expansion order
+  means each physical circuit is built once and re-solved per
+  temperature.
+
+Determinism: every unit is a cold, self-contained computation (fresh
+mismatch generator seeded from the unit's own seed, cold Newton solve),
+so chunk boundaries and executor choice cannot change any value — the
+serial and process-pool executors produce identical
+:class:`~repro.campaign.result.CampaignResult` arrays, which
+``tests/campaign`` asserts at ``rtol=1e-12`` (they are in fact
+byte-identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.campaign.builders import BuiltUnit, build_unit_circuit
+from repro.campaign.measurements import MEASUREMENTS
+from repro.campaign.spec import CampaignSpec, WorkUnit
+from repro.process.corners import apply_corner
+from repro.process.mismatch import MismatchSampler
+from repro.process.technology import Technology
+from repro.spice.dc import OperatingPoint, dc_operating_point
+
+
+@dataclass
+class UnitRuntime:
+    """Everything a measurement may touch for one work unit."""
+
+    spec: CampaignSpec
+    unit: WorkUnit
+    tech: Technology
+    built: BuiltUnit
+    op: OperatingPoint
+
+    def ctx(self):
+        """The unit's shared small-signal context (cached on the op)."""
+        return self.op.small_signal()
+
+
+@dataclass
+class ChunkCache:
+    """Per-chunk (per-worker-message) reuse of techs and built circuits.
+
+    The circuit cache holds a *single* entry: the expansion order is
+    temperature-innermost, so once the circuit key changes the previous
+    circuit is never needed again — a one-slot cache gives the same hit
+    rate as an unbounded one while keeping memory at O(1) circuits even
+    for thousand-seed campaigns.
+    """
+
+    spec: CampaignSpec
+    techs: dict[str, Technology] = field(default_factory=dict)
+    _circuit_key: tuple | None = None
+    _circuit: BuiltUnit | None = None
+
+    def tech(self, corner: str) -> Technology:
+        t = self.techs.get(corner)
+        if t is None:
+            t = self.techs[corner] = apply_corner(self.spec.tech, corner)
+        return t
+
+    def built(self, unit: WorkUnit) -> BuiltUnit:
+        key = unit.circuit_key()
+        if key != self._circuit_key:
+            tech = self.tech(unit.corner)
+            if unit.seed is None:
+                sampler = MismatchSampler.nominal(tech)
+            else:
+                sampler = MismatchSampler(tech, np.random.default_rng(unit.seed))
+            self._circuit = build_unit_circuit(self.spec.builder, tech, sampler,
+                                               unit.supply, unit.gain_code)
+            self._circuit_key = key
+        return self._circuit
+
+
+def run_unit(spec: CampaignSpec, unit: WorkUnit, cache: ChunkCache) -> dict[str, float]:
+    """Execute one work unit: build (or reuse), solve DC once, measure."""
+    built = cache.built(unit)
+    op = dc_operating_point(built.circuit, temp_c=unit.temp_c)
+    rt = UnitRuntime(spec=spec, unit=unit, tech=cache.tech(unit.corner),
+                     built=built, op=op)
+    record: dict[str, float] = {}
+    for name in spec.measurements:
+        record.update(MEASUREMENTS[name](rt))
+    return record
+
+
+def run_chunk(spec: CampaignSpec, units: list[WorkUnit]) -> list[dict[str, float]]:
+    """Execute a chunk of units with a fresh shared cache.
+
+    This is the function the process-pool executor ships to workers: one
+    picklable ``(spec, units)`` message in, one list of plain-float
+    records out.
+    """
+    cache = ChunkCache(spec)
+    return [run_unit(spec, unit, cache) for unit in units]
+
+
+def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = None):
+    """Expand, execute and collect a campaign into a ``CampaignResult``.
+
+    ``executor`` defaults to :class:`~repro.campaign.executors.SerialExecutor`;
+    pass a :class:`~repro.campaign.executors.ProcessPoolCampaignExecutor`
+    for multi-core hosts.  ``chunk_size`` defaults to the executor's
+    heuristic (all-in-one-chunk for serial; a few chunks per worker for
+    the pool, so the per-chunk circuit cache still amortises builds).
+    """
+    from repro.campaign.executors import SerialExecutor
+    from repro.campaign.result import CampaignResult
+
+    if executor is None:
+        executor = SerialExecutor()
+    units = spec.expand()
+    size = executor.default_chunk_size(spec) if chunk_size is None else chunk_size
+    if size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {size}")
+    chunks = [units[i:i + size] for i in range(0, len(units), size)]
+    records: list[dict[str, float]] = []
+    for chunk_records in executor.map_chunks(spec, chunks):
+        records.extend(chunk_records)
+    return CampaignResult.from_units(spec, units, records)

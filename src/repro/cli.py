@@ -7,6 +7,9 @@ Gives the reproduction a bench-style front door:
 * ``noise``                   — Fig. 7 noise spectrum at a gain code;
 * ``gains``                   — Fig. 5 per-code gain table;
 * ``opamp``                   — the modulator opamp's figures of merit;
+* ``campaign``                — declarative PVT x mismatch x gain-code
+  characterization sweeps through :mod:`repro.campaign`, with optional
+  parallel execution and CSV/JSON export;
 * ``export <block> <file>``   — write a block's SPICE deck for
   cross-checking with an external simulator.
 """
@@ -92,6 +95,91 @@ def _cmd_opamp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str, cast, none_words=()):
+    """Comma list -> tuple, mapping the ``none_words`` to ``None``.
+
+    Only axes where ``None`` is meaningful (nominal supply/devices/code)
+    pass ``none_words``; elsewhere the word is a parse error like any
+    other bad token.
+    """
+    out = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        out.append(None if item.lower() in none_words else cast(item))
+    return tuple(out)
+
+
+_NONE_WORDS = ("none", "nominal")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.campaign import (
+        CampaignSpec,
+        ProcessPoolCampaignExecutor,
+        SerialExecutor,
+        run_campaign,
+    )
+    from repro.process import CORNERS
+
+    corners = (tuple(CORNERS) if args.corners.lower() == "all"
+               else _parse_axis(args.corners, str))
+    try:
+        if args.seeds is not None:
+            seeds = _parse_axis(args.seeds, int, _NONE_WORDS)
+        elif args.trials > 0:
+            seeds = tuple(range(args.trials))
+        else:
+            seeds = (None,)
+        spec = CampaignSpec(
+            builder=args.builder,
+            corners=corners,
+            temps_c=_parse_axis(args.temps, float),
+            supplies=_parse_axis(args.supplies, float, _NONE_WORDS),
+            seeds=seeds,
+            gain_codes=_parse_axis(args.codes, int, _NONE_WORDS),
+            measurements=_parse_axis(args.measure, str),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        executor = ProcessPoolCampaignExecutor(max_workers=args.workers)
+    else:
+        executor = SerialExecutor()
+    print(f"campaign: {spec.n_units} units "
+          f"({len(spec.corners)} corners x {len(spec.temps_c)} temps x "
+          f"{len(spec.supplies)} supplies x {len(spec.seeds)} seeds x "
+          f"{len(spec.gain_codes)} codes), executor={executor.name}")
+    t0 = time.perf_counter()
+    try:
+        result = run_campaign(spec, executor=executor, chunk_size=args.chunk)
+    except ValueError as exc:
+        # Builder/measurement incompatibilities surface at run time (e.g.
+        # gain codes on a codeless builder); report them like parse errors.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - t0
+    print(f"done in {wall:.2f} s ({spec.n_units / wall:.1f} units/s)\n")
+    print(result.summary())
+    for metric in result.metrics:
+        worst = result.worst_by(metric, by=("corner",), sense="min")
+        best = result.worst_by(metric, by=("corner",), sense="max")
+        row = "   ".join(f"{k[0]} [{lo:.4g}, {best[k]:.4g}]"
+                         for k, lo in worst.items())
+        print(f"  {metric} per corner: {row}")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        result.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
 _BLOCKS = ("micamp", "powerbuffer", "bandgap", "bias", "opamp")
 
 
@@ -159,6 +247,39 @@ def build_parser() -> argparse.ArgumentParser:
     po = sub.add_parser("opamp", help="modulator opamp figures of merit")
     po.set_defaults(func=_cmd_opamp)
 
+    pc = sub.add_parser(
+        "campaign",
+        help="declarative PVT x mismatch x gain-code characterization sweep",
+        description="Expand a corner/temperature/supply/seed/gain-code "
+                    "cross-product into work units, execute them (serially "
+                    "or on a process pool) and print reduced statistics.",
+    )
+    pc.add_argument("--builder", default="micamp",
+                    help="registered circuit builder (default: micamp)")
+    pc.add_argument("--corners", default="all",
+                    help="comma list of corners, or 'all' (default)")
+    pc.add_argument("--temps", default="-20,25,85",
+                    help="comma list of temperatures [degC] "
+                         "(use --temps=-20,25,85 for negative values)")
+    pc.add_argument("--supplies", default="nominal",
+                    help="comma list of total supply voltages, 'nominal' "
+                         "entries keep the technology default")
+    pc.add_argument("--trials", type=int, default=0,
+                    help="number of mismatch seeds 0..N-1 (0 = nominal devices)")
+    pc.add_argument("--seeds", default=None,
+                    help="explicit comma list of mismatch seeds (overrides --trials)")
+    pc.add_argument("--codes", default="nominal",
+                    help="comma list of gain codes; 'nominal' = builder default")
+    pc.add_argument("--measure", default="offset_v,iq_ma",
+                    help="comma list of registered measurements")
+    pc.add_argument("--workers", type=int, default=1,
+                    help="process-pool workers (1 = serial, default)")
+    pc.add_argument("--chunk", type=int, default=None,
+                    help="units per dispatch chunk (default: executor heuristic)")
+    pc.add_argument("--csv", default=None, help="write the full table as CSV")
+    pc.add_argument("--json", default=None, help="write the full table as JSON")
+    pc.set_defaults(func=_cmd_campaign)
+
     pe = sub.add_parser("export", help="write a block's SPICE deck")
     pe.add_argument("block", choices=_BLOCKS)
     pe.add_argument("output", help="output file, or - for stdout")
@@ -168,7 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    # Let "--temps -20,25,85"-style negative comma lists through argparse,
+    # which would otherwise read the value as an option string.
+    fixed: list[str] = []
+    skip = False
+    for i, arg in enumerate(argv):
+        if skip:
+            skip = False
+            continue
+        nxt = argv[i + 1] if i + 1 < len(argv) else ""
+        if arg in ("--temps", "--supplies", "--seeds") and \
+                nxt.startswith("-") and nxt[1:2].isdigit():
+            fixed.append(f"{arg}={nxt}")
+            skip = True
+        else:
+            fixed.append(arg)
+    args = build_parser().parse_args(fixed)
     return args.func(args)
 
 

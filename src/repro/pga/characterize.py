@@ -20,12 +20,12 @@ from repro.analysis.distortion import (
 from repro.analysis.dynamic_range import snr_from_spectrum
 from repro.analysis.gain import measure_gain_codes
 from repro.analysis.psophometric import psophometric_rms
-from repro.analysis.psrr import measure_psrr
 from repro.analysis.slew import measure_slew_rate
+from repro.campaign import CampaignSpec, mc_seeds, run_campaign
 from repro.circuits.micamp import build_mic_amp
 from repro.circuits.powerbuffer import build_power_buffer
 from repro.layout.area import estimate_mic_amp_area_mm2
-from repro.process.mismatch import MismatchSampler
+from repro.process.corners import CONSUMER_TEMPS_C
 from repro.process.technology import Technology
 from repro.spice.analysis import log_freqs
 from repro.spice.dc import dc_operating_point
@@ -84,16 +84,16 @@ def characterize_mic_amp(
     design.set_gain_code(5)
 
     # --- PSRR over mismatch (matching-limited; see analysis.psrr) ---
-    rng = np.random.default_rng(opt.seed)
+    # A one-axis campaign replaces the old hand-rolled rebuild loop;
+    # mc_seeds reproduces the legacy derivation (master rng -> child
+    # seeds), so the Monte-Carlo population is numerically unchanged.
     trials = 2 if opt.quick else opt.psrr_trials
-    psrr_values = []
-    for _ in range(trials):
-        sampler = MismatchSampler(tech, np.random.default_rng(rng.integers(2**63)))
-        d_mc = build_mic_amp(tech, gain_code=5, mismatch=sampler)
-        res = measure_psrr(
-            d_mc.circuit, "vdd_src", ("vin_p", "vin_n"), d_mc.outp, d_mc.outn
-        )
-        psrr_values.append(res.ratio_db)
+    psrr_spec = CampaignSpec(
+        builder="micamp", corners=("tt",), temps_c=(25.0,),
+        seeds=mc_seeds(trials, opt.seed), gain_codes=(5,),
+        measurements=("psrr_1khz_db",), tech=tech,
+    )
+    psrr_values = run_campaign(psrr_spec).metric("psrr_1khz_db")
     measured["psrr_1khz_db"] = float(min(psrr_values))
     measured["psrr_1khz_median_db"] = float(np.median(psrr_values))
 
@@ -192,18 +192,14 @@ def characterize_power_buffer(
     )
     measured["slew_v_per_us"] = sr.slew_v_per_s / 1e6
 
-    # --- PSRR over mismatch ---
-    rng = np.random.default_rng(opt.seed)
+    # --- PSRR over mismatch (campaign-driven, same seeds as before) ---
     trials = 2 if opt.quick else opt.psrr_trials
-    psrr_values = []
-    for _ in range(trials):
-        sampler = MismatchSampler(tech, np.random.default_rng(rng.integers(2**63)))
-        d_mc = build_power_buffer(tech, feedback="inverting", load="resistive",
-                                  vdd=vdd, vss=vss, mismatch=sampler)
-        res = measure_psrr(
-            d_mc.circuit, "vdd_src", ("vsrc_p", "vsrc_n"), d_mc.outp, d_mc.outn
-        )
-        psrr_values.append(res.ratio_db)
+    psrr_spec = CampaignSpec(
+        builder="powerbuffer", corners=("tt",), temps_c=(25.0,),
+        supplies=(supply_total,), seeds=mc_seeds(trials, opt.seed),
+        measurements=("psrr_1khz_db",), tech=tech,
+    )
+    psrr_values = run_campaign(psrr_spec).metric("psrr_1khz_db")
     measured["psrr_1khz_db"] = float(min(psrr_values))
     return measured
 
@@ -211,25 +207,25 @@ def characterize_power_buffer(
 def iq_spread_over_conditions(
     tech: Technology,
     supplies: tuple[float, ...] = (2.8, 3.0, 4.0, 5.0),
-    temps: tuple[float, ...] = (-20.0, 25.0, 85.0),
+    temps: tuple[float, ...] = CONSUMER_TEMPS_C,
     corners: tuple[str, ...] = ("tt", "ff", "ss"),
 ) -> dict[str, float]:
     """The paper's quiescent-current claim: "total supply current
     variations with temperature, process and supply ... is 15 % over a
     wide supply voltage range (2.8 V to 5 V)".  Returns min/max/nominal
-    IQ of the buffer over the cross-product."""
-    from repro.process.corners import apply_corner
+    IQ of the buffer over the cross-product.
 
-    values = []
-    for corner in corners:
-        tc = apply_corner(tech, corner)
-        for vsup in supplies:
-            d = build_power_buffer(tc, feedback="inverting", load="resistive",
-                                   vdd=vsup / 2, vss=-vsup / 2)
-            for temp in temps:
-                op = dc_operating_point(d.circuit, temp_c=temp)
-                values.append(abs(op.i("vdd_src")) * 1e3)
-    nominal = values[len(values) // 2]
+    This is the poster-child campaign: three declarative axes, one
+    metric.  The engine walks the same corner -> supply -> temperature
+    nesting the old triple loop used (one built circuit per
+    corner/supply, one cold DC solve per temperature), so the values —
+    and their order — are unchanged.
+    """
+    spec = CampaignSpec(
+        builder="powerbuffer", corners=tuple(corners), temps_c=tuple(temps),
+        supplies=tuple(supplies), measurements=("iq_ma",), tech=tech,
+    )
+    values = run_campaign(spec).metric("iq_ma")
     return {
         "iq_min_ma": float(min(values)),
         "iq_max_ma": float(max(values)),

@@ -1,15 +1,25 @@
 """Reconstructed 1.2 um n-well CMOS technology (devices, corners, matching)."""
 
 from repro.process.technology import CMOS12, Technology
-from repro.process.corners import Corner, CORNERS, apply_corner
+from repro.process.corners import (
+    CONSUMER_TEMPS_C,
+    CORNERS,
+    Corner,
+    PvtPoint,
+    apply_corner,
+    iter_pvt,
+)
 from repro.process.mismatch import MismatchSampler, PelgromModel
 
 __all__ = [
     "CMOS12",
+    "CONSUMER_TEMPS_C",
     "CORNERS",
     "Corner",
     "MismatchSampler",
     "PelgromModel",
+    "PvtPoint",
     "Technology",
     "apply_corner",
+    "iter_pvt",
 ]

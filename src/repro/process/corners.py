@@ -11,8 +11,13 @@ roughly +/-0.1 V on VTH and +/-15 % on KP, independently per flavour.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
 
 from repro.process.technology import Technology
+
+#: The paper's consumer qualification range: every block is characterised
+#: at the extremes and the nominal bench temperature ("-20..85 degC").
+CONSUMER_TEMPS_C: tuple[float, float, float] = (-20.0, 25.0, 85.0)
 
 
 @dataclass(frozen=True)
@@ -89,3 +94,41 @@ def apply_corner(tech: Technology, corner: Corner | str) -> Technology:
     poly = replace(tech.poly, sheet_ohm=tech.poly.sheet_ohm * corner.resistor_scale)
     return replace(tech, name=f"{tech.name}-{corner.name}", nmos=nmos, pmos=pmos,
                    vpnp=vpnp, poly=poly)
+
+
+@dataclass(frozen=True)
+class PvtPoint:
+    """One point of a process/temperature qualification grid.
+
+    ``tech`` is the corner-skewed technology (``None`` when no base
+    technology was supplied to :func:`iter_pvt`), so consumers can build
+    circuits directly without re-applying the corner.
+    """
+
+    corner: Corner
+    temp_c: float
+    tech: Technology | None = None
+
+
+def iter_pvt(
+    tech: Technology | None = None,
+    corners: Iterable[Corner | str] | None = None,
+    temps_c: Iterable[float] = CONSUMER_TEMPS_C,
+) -> Iterator[PvtPoint]:
+    """Iterate the corner x temperature qualification grid.
+
+    Replaces the ad-hoc double loops previously scattered through the
+    examples, benchmarks and :mod:`repro.pga.characterize`: the default
+    grid is the paper's five corners x :data:`CONSUMER_TEMPS_C`, yielded
+    corner-major (all temperatures of one corner before the next) so a
+    consumer can reuse one skewed technology/circuit per corner.  Each
+    corner's skewed technology is computed once and shared by its points.
+    """
+    corner_list: list[Corner] = []
+    for c in (CORNERS.values() if corners is None else corners):
+        corner_list.append(c if isinstance(c, Corner) else CORNERS[c.lower()])
+    temp_list = [float(t) for t in temps_c]
+    for corner in corner_list:
+        skewed = apply_corner(tech, corner) if tech is not None else None
+        for temp in temp_list:
+            yield PvtPoint(corner=corner, temp_c=temp, tech=skewed)

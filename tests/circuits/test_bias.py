@@ -47,7 +47,9 @@ class TestTemperature:
     def test_current_slightly_increases_with_temperature(self, bias):
         """Sec. 2.1: 'the bias current should be constant or slightly
         increasing with temperature'."""
-        temps = np.array([-20.0, 25.0, 85.0])
+        from repro.process import CONSUMER_TEMPS_C
+
+        temps = np.array(CONSUMER_TEMPS_C)
         ops = temperature_sweep(bias.circuit, temps)
         currents = np.array([op.v("iout") / 10e3 for op in ops])
         assert currents[2] > currents[0]

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.process import CMOS12, CORNERS, apply_corner
+from repro.process import (
+    CMOS12,
+    CONSUMER_TEMPS_C,
+    CORNERS,
+    apply_corner,
+    iter_pvt,
+)
 
 
 class TestCorners:
@@ -36,6 +42,26 @@ class TestCorners:
     def test_unknown_corner_raises(self):
         with pytest.raises(KeyError, match="unknown corner"):
             apply_corner(CMOS12, "tturbo")
+
+    def test_iter_pvt_default_grid(self):
+        """Five corners x the consumer temperature range, corner-major."""
+        points = list(iter_pvt(CMOS12))
+        assert len(points) == len(CORNERS) * len(CONSUMER_TEMPS_C)
+        assert [p.temp_c for p in points[:3]] == list(CONSUMER_TEMPS_C)
+        assert len({p.corner.name for p in points}) == len(CORNERS)
+        # skewed technology computed once per corner and shared
+        assert points[0].tech is points[1].tech
+        assert points[0].tech.nmos.vth0 == CMOS12.nmos.vth0  # tt first
+
+    def test_iter_pvt_accepts_names_and_corners(self):
+        points = list(iter_pvt(corners=("FF", CORNERS["ss"]), temps_c=(25.0,)))
+        assert [p.corner.name for p in points] == ["ff", "ss"]
+        assert points[0].tech is None  # no base technology given
+
+    def test_iter_pvt_skews_technology(self):
+        point = next(iter_pvt(CMOS12, corners=("ff",), temps_c=(25.0,)))
+        assert point.tech.nmos.vth0 < CMOS12.nmos.vth0
+        assert point.tech.name.endswith("-ff")
 
     def test_corner_changes_circuit_current(self, tech):
         """A simple mirror delivers more current at ff than ss."""

@@ -55,3 +55,27 @@ class TestCommands:
         assert main(["table1", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "overall: PASS" in out
+
+    def test_campaign_serial(self, tmp_path, capsys):
+        csv = tmp_path / "c.csv"
+        assert main(["campaign", "--builder", "micamp", "--corners", "tt",
+                     "--temps", "25", "--trials", "2",
+                     "--measure", "offset_v,iq_ma", "--csv", str(csv)]) == 0
+        out = capsys.readouterr().out
+        assert "2 units" in out
+        assert "iq_ma" in out
+        header = csv.read_text().splitlines()[0]
+        assert header.startswith("corner,temp_c,supply,seed,gain_code")
+
+    def test_campaign_negative_temps_space_form(self, capsys):
+        """`--temps -20,85` must not be eaten as an option string."""
+        assert main(["campaign", "--builder", "bias", "--corners", "tt",
+                     "--temps", "-20,85",
+                     "--measure", "bias_current_ua"]) == 0
+        assert "2 temps" in capsys.readouterr().out
+
+    def test_campaign_explicit_seeds_and_codes(self, capsys):
+        assert main(["campaign", "--corners", "tt", "--temps", "25",
+                     "--seeds", "7", "--codes", "0,5",
+                     "--measure", "gain_1khz_db"]) == 0
+        assert "2 codes" in capsys.readouterr().out

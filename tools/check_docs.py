@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Fail CI on broken intra-repo links in the markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links/images and
+verifies that every *relative* target (no scheme, no mailto) exists on
+disk, resolved against the file containing the link. Anchors are
+stripped (``file.md#section`` checks ``file.md``); ``http(s)://`` links
+are ignored — CI must not depend on the network.
+
+Usage::
+
+    python tools/check_docs.py [files...]     # default: README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) and ![alt](target); stops at the first unescaped ')'.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Inline/fenced code spans can contain "[x](y)"-shaped text that is not
+# a link (e.g. numpy slices in code examples).
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def iter_links(text: str):
+    cleaned = _CODE_RE.sub("", _FENCE_RE.sub("", text))
+    for match in _LINK_RE.finditer(cleaned):
+        yield match.group(1)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors = []
+    for target in iter_links(path.read_text()):
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue                        # http:, https:, mailto:, ...
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue                        # pure in-page anchor
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = [pathlib.Path(a).resolve() for a in argv]
+    else:
+        files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"ERROR: no such file {f}")
+        return 1
+    errors: list[str] = []
+    checked = 0
+    for f in files:
+        errors.extend(check_file(f))
+        checked += 1
+    for err in errors:
+        print(f"ERROR: {err}")
+    print(f"checked {checked} file(s): "
+          f"{'FAIL' if errors else 'ok'} ({len(errors)} broken link(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

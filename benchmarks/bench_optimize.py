@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the sizing optimizer (evaluations/s).
+
+Replays the exact candidate stream of a deterministic
+``repro.optimize`` run two ways and records evaluations/second:
+
+* ``naive``  — the pre-optimizer idiom for scoring one candidate: build
+  the circuit and re-solve the DC operating point *per measurement
+  family* (current, gain, noise each pay their own build + Newton
+  solve), with the noise and gain sweeps on the kept per-frequency
+  looped reference paths (``_noise_analysis_looped`` /
+  ``_ac_analysis_looped``) and no memoisation across repeated
+  candidates — exactly what a hand-rolled "try a sizing, characterise
+  it" loop cost before PR 1/PR 2;
+* ``engine`` — the :class:`repro.optimize.evaluate.CandidateEvaluator`:
+  one campaign unit per candidate (one build, one DC solve, one shared
+  ``SmallSignalContext`` factorization for gain + noise), memoised on
+  the quantized design vector so the stream's revisited grid cells cost
+  a dict lookup.
+
+The same-run cross-check asserts the engine reproduces the naive loop's
+metrics (batched vs looped solves agree to ~1e-9) before any timing is
+trusted.  Full mode enforces the >= 3x floor and merges an ``optimize``
+entry (evaluations/s, cache hit rate) into ``BENCH_perf.json``;
+``--smoke`` shrinks the stream for CI and asserts nothing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_optimize.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def record_candidate_stream(smoke: bool) -> list[np.ndarray]:
+    """The quantized candidate vectors of a deterministic optimizer run,
+    in evaluation-request order (repeats included — they are the cache's
+    workload)."""
+    from repro.optimize import (
+        CandidateEvaluator,
+        mic_amp_design_space,
+        mic_amp_objective,
+        optimize,
+    )
+    from repro.process import CMOS12
+
+    space = mic_amp_design_space()
+    stream: list[np.ndarray] = []
+
+    class RecordingEvaluator(CandidateEvaluator):
+        def evaluate(self, x):
+            stream.append(self.space.quantize(np.asarray(x, dtype=float)))
+            return super().evaluate(x)
+
+    evaluator = RecordingEvaluator(space, mic_amp_objective(), CMOS12)
+    optimize(space, evaluator, budget=24 if smoke else 150, seed=2026,
+             seed_points=(space.default(),))
+    return stream
+
+
+def naive_evaluate(x: np.ndarray, space) -> dict[str, float]:
+    """One candidate, the retired way: rebuild + re-solve per metric
+    family, looped reference sweeps, no caching."""
+    from repro.analysis.psrr import measure_psrr
+    from repro.circuits.micamp import build_mic_amp
+    from repro.layout.area import estimate_area_mm2
+    from repro.pga.design import mic_amp_parts_from_params
+    from repro.process import CMOS12
+    from repro.spice.ac import _ac_analysis_looped
+    from repro.spice.analysis import log_freqs
+    from repro.spice.dc import dc_operating_point
+    from repro.spice.noise import _noise_analysis_looped
+
+    params = space.as_dict(x)
+    try:
+        sizes, gain = mic_amp_parts_from_params(CMOS12, params)
+        # current study
+        d = build_mic_amp(CMOS12, gain_code=5, sizes=sizes, gain=gain)
+        op = dc_operating_point(d.circuit)
+        rec = {"iq_ma": abs(op.i("vdd_src")) * 1e3,
+               "area_mm2": estimate_area_mm2(d.circuit, CMOS12).total_mm2}
+        # gain study
+        d = build_mic_amp(CMOS12, gain_code=5, sizes=sizes, gain=gain)
+        op = dc_operating_point(d.circuit)
+        ac = _ac_analysis_looped(op, np.array([1e3]))
+        h = abs(ac.vdiff(d.outp, d.outn)[0])
+        rec["gain_1khz_db"] = 20.0 * math.log10(max(h, 1e-30))
+        rec["gain_error_db"] = rec["gain_1khz_db"] - d.gain.gain_db(5)
+        # PSRR study
+        d = build_mic_amp(CMOS12, gain_code=5, sizes=sizes, gain=gain)
+        rec["psrr_1khz_db"] = measure_psrr(
+            d.circuit, "vdd_src", ("vin_p", "vin_n"), d.outp, d.outn,
+        ).ratio_db
+        # noise study
+        d = build_mic_amp(CMOS12, gain_code=5, sizes=sizes, gain=gain)
+        op = dc_operating_point(d.circuit)
+        nr = _noise_analysis_looped(op, log_freqs(10.0, 100e3, 12),
+                                    d.outp, d.outn)
+        rec["vnin_300hz_nv"] = nr.input_nv_at(300.0)
+        rec["vnin_1khz_nv"] = nr.input_nv_at(1e3)
+        rec["vnin_avg_nv"] = nr.average_input_density(300.0, 3400.0) * 1e9
+        return rec
+    except Exception:
+        return {}
+
+
+def run_bench(smoke: bool) -> dict:
+    from repro.optimize import (
+        CandidateEvaluator,
+        mic_amp_design_space,
+        mic_amp_objective,
+    )
+    from repro.process import CMOS12
+
+    stream = record_candidate_stream(smoke)
+    space = mic_amp_design_space()
+    n = len(stream)
+    print(f"[bench_optimize] candidate stream: {n} evaluations "
+          f"({len({space.key(x) for x in stream})} distinct designs)")
+
+    t0 = time.perf_counter()
+    evaluator = CandidateEvaluator(space, mic_amp_objective(), CMOS12)
+    engine_metrics = [evaluator.evaluate(x).metrics for x in stream]
+    t_engine = time.perf_counter() - t0
+    hit_rate = evaluator.cache_hit_rate
+    print(f"  engine (cached, shared-context): {t_engine:.2f}s "
+          f"({n / t_engine:.1f} evals/s, cache hit rate {hit_rate:.0%})")
+
+    t0 = time.perf_counter()
+    naive_metrics = [naive_evaluate(x, space) for x in stream]
+    t_naive = time.perf_counter() - t0
+    print(f"  naive per-candidate rebuild loop: {t_naive:.2f}s "
+          f"({n / t_naive:.1f} evals/s)")
+
+    # Same-run equivalence before any timing is trusted.
+    n_checked = 0
+    for eng, nai in zip(engine_metrics, naive_metrics):
+        if not eng or not nai:
+            assert not eng and not nai, "feasibility disagreement"
+            continue
+        for key, ref in nai.items():
+            np.testing.assert_allclose(eng[key], ref, rtol=1e-6,
+                                       err_msg=f"metric {key} diverged")
+            n_checked += 1
+    print(f"  cross-check: {n_checked} metric values match the naive loop")
+
+    return {
+        "n_evaluations": n,
+        "n_distinct": len({space.key(x) for x in stream}),
+        "cache_hit_rate": hit_rate,
+        "naive_s": t_naive,
+        "engine_s": t_engine,
+        "naive_evals_per_s": n / t_naive,
+        "engine_evals_per_s": n / t_engine,
+        "engine_speedup_vs_naive": t_naive / t_engine,
+    }
+
+
+def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
+    """Merge into the trajectory file without clobbering other benches."""
+    payload: dict = {}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["optimize"] = {
+        "smoke": smoke,
+        "platform": platform.platform(),
+        **results,
+    }
+    payload.setdefault("optimize_trajectory", []).append({
+        "engine_evals_per_s": results["engine_evals_per_s"],
+        "cache_hit_rate": results["cache_hit_rate"],
+        "smoke": smoke,
+    })
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny stream for CI; no speedup floor")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help=f"output JSON (default: {DEFAULT_OUT} in full "
+                             "mode, bench_optimize_smoke.json in smoke mode)")
+    args = parser.parse_args(argv)
+
+    results = run_bench(args.smoke)
+
+    out = args.out or (pathlib.Path("bench_optimize_smoke.json") if args.smoke
+                       else DEFAULT_OUT)
+    _merge_out(out, results, args.smoke)
+    print(f"[bench_optimize] wrote {out}")
+
+    if args.smoke:
+        return 0
+    if results["engine_speedup_vs_naive"] < 3.0:
+        print("FAIL: cached+vectorized evaluator below the 3x floor over the "
+              f"naive rebuild loop ({results['engine_speedup_vs_naive']:.2f}x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

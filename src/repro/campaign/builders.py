@@ -58,13 +58,19 @@ def build_unit_circuit(
     sampler: MismatchSampler,
     supply: float | None,
     gain_code: int | None,
+    builder_kwargs: tuple[tuple[str, float], ...] = (),
 ) -> BuiltUnit:
-    """Instantiate builder ``name`` for one work unit."""
+    """Instantiate builder ``name`` for one work unit.
+
+    ``builder_kwargs`` are the spec-wide extra keyword arguments (see
+    :class:`~repro.campaign.spec.CampaignSpec.builder_kwargs`); builders
+    that take none reject them with a normal ``TypeError``.
+    """
     try:
         fn = BUILDERS[name]
     except KeyError:
         raise KeyError(f"unknown builder {name!r}; available: {sorted(BUILDERS)}") from None
-    return fn(tech, sampler, supply, gain_code)
+    return fn(tech, sampler, supply, gain_code, **dict(builder_kwargs))
 
 
 def _split_rails(supply: float | None) -> tuple[float | None, float | None]:
@@ -83,6 +89,37 @@ def _build_micamp(tech: Technology, sampler: MismatchSampler,
     code = 5 if gain_code is None else gain_code
     vdd, vss = _split_rails(supply)
     design = build_mic_amp(tech, gain_code=code, mismatch=sampler, vdd=vdd, vss=vss)
+    return BuiltUnit(
+        circuit=design.circuit,
+        out_p=design.outp,
+        out_n=design.outn,
+        input_sources=("vin_p", "vin_n"),
+        supply_source="vdd_src",
+        nominal_gain_db=design.gain.gain_db(code),
+        design=design,
+    )
+
+
+@register_builder("micamp_sized")
+def _build_micamp_sized(tech: Technology, sampler: MismatchSampler,
+                        supply: float | None, gain_code: int | None,
+                        **params: float) -> BuiltUnit:
+    """The microphone amplifier re-sized from flattened sizing-walk inputs.
+
+    ``params`` is the :data:`repro.pga.design.MIC_AMP_PARAM_DEFAULTS`
+    vocabulary (``split_*`` budget fractions, ``i_pair``, ``l_input``,
+    ``l_load``, ``r_total``) shipped through the spec's
+    ``builder_kwargs`` — this is how ``repro.optimize`` scores one
+    candidate design across a whole PVT x mismatch campaign.
+    """
+    from repro.circuits.micamp import build_mic_amp
+    from repro.pga.design import mic_amp_parts_from_params
+
+    sizes, gain = mic_amp_parts_from_params(tech, params)
+    code = 5 if gain_code is None else gain_code
+    vdd, vss = _split_rails(supply)
+    design = build_mic_amp(tech, gain_code=code, sizes=sizes, gain=gain,
+                           mismatch=sampler, vdd=vdd, vss=vss)
     return BuiltUnit(
         circuit=design.circuit,
         out_p=design.outp,

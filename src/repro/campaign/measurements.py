@@ -104,17 +104,27 @@ def _cmrr(rt: "UnitRuntime") -> dict[str, float]:
 
 @register_measurement("noise_voice")
 def _noise(rt: "UnitRuntime") -> dict[str, float]:
-    """Input-referred noise: 1 kHz spot density and the 300..3400 Hz
-    band average [nV/sqrt(Hz)] (Table 1 rows 4/5)."""
+    """Input-referred noise: 300 Hz / 1 kHz spot densities and the
+    300..3400 Hz band average [nV/sqrt(Hz)] (Table 1 rows 3-5)."""
     from repro.spice.analysis import log_freqs
     from repro.spice.noise import noise_analysis
 
     freqs = log_freqs(10.0, 100e3, 12)
     nr = noise_analysis(rt.op, freqs, rt.built.out_p, rt.built.out_n)
     return {
+        "vnin_300hz_nv": nr.input_nv_at(300.0),
         "vnin_1khz_nv": nr.input_nv_at(1e3),
         "vnin_avg_nv": nr.average_input_density(300.0, 3400.0) * 1e9,
     }
+
+
+@register_measurement("area_mm2")
+def _area(rt: "UnitRuntime") -> dict[str, float]:
+    """Estimated silicon area [mm^2] from the layout model — the third
+    axis of the optimizer's noise/current/area Pareto front."""
+    from repro.layout.area import estimate_area_mm2
+
+    return {"area_mm2": estimate_area_mm2(rt.built.circuit, rt.tech).total_mm2}
 
 
 @register_measurement("bias_current_ua")

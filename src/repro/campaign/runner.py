@@ -84,7 +84,8 @@ class ChunkCache:
             else:
                 sampler = MismatchSampler(tech, np.random.default_rng(unit.seed))
             self._circuit = build_unit_circuit(self.spec.builder, tech, sampler,
-                                               unit.supply, unit.gain_code)
+                                               unit.supply, unit.gain_code,
+                                               self.spec.builder_kwargs)
             self._circuit_key = key
         return self._circuit
 

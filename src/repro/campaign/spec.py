@@ -84,6 +84,11 @@ class CampaignSpec:
     gain_codes: Sequence[int | None] = (None,)
     measurements: Sequence[str] = ("offset_v", "iq_ma")
     tech: Technology = field(default=CMOS12)
+    #: Extra keyword arguments handed to the builder for *every* unit
+    #: (e.g. a candidate sizing for ``micamp_sized``).  Accepts a mapping
+    #: or ``(name, value)`` pairs; canonicalised to a name-sorted tuple of
+    #: ``(str, float)`` pairs so the spec stays hashable and picklable.
+    builder_kwargs: Sequence[tuple[str, float]] = ()
 
     def __post_init__(self) -> None:
         # Canonicalise every axis to a tuple so specs hash/pickle cleanly
@@ -104,6 +109,10 @@ class CampaignSpec:
                                  for g in _as_axis(self.gain_codes, "gain_codes")))
         object.__setattr__(self, "measurements",
                            tuple(_as_axis(self.measurements, "measurements")))
+        kwargs = self.builder_kwargs
+        pairs = sorted(kwargs.items()) if hasattr(kwargs, "items") else list(kwargs)
+        object.__setattr__(self, "builder_kwargs",
+                           tuple(sorted((str(k), float(v)) for k, v in pairs)))
 
         unknown = [c for c in self.corners if c not in CORNERS]
         if unknown:

@@ -180,6 +180,72 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.campaign import ProcessPoolCampaignExecutor
+    from repro.optimize import RobustSettings, optimize_mic_amp
+    from repro.pga.specs import MIC_AMP_SPEC
+
+    robust = None
+    grid_given = (args.corners is not None or args.temps is not None
+                  or args.trials is not None)
+    if grid_given and not args.robust:
+        print("error: --corners/--temps/--trials define the robust "
+              "evaluation grid; pass --robust to use them",
+              file=sys.stderr)
+        return 2
+    if args.robust:
+        try:
+            trials = args.trials or 0
+            seeds = (None,) if trials == 0 else (None,) + tuple(range(trials))
+            robust = RobustSettings(
+                corners=_parse_axis(args.corners or "tt,ss,ff", str),
+                temps_c=_parse_axis(args.temps or "25", float),
+                seeds=seeds,
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    executor = (ProcessPoolCampaignExecutor(max_workers=args.workers)
+                if args.workers > 1 else None)
+
+    budget = 60 if args.quick else args.budget
+    grid = robust.n_units if robust else 1
+    print(f"optimize: mic amp vs Table 1, budget {budget} evaluations "
+          f"x {grid} unit(s) each, mode={args.mode}, seed={args.seed}")
+    t0 = time.perf_counter()
+    result = optimize_mic_amp(
+        budget=budget, seed=args.seed, mode=args.mode,
+        robust=robust, executor=executor,
+        log=(None if args.no_progress else print),
+    )
+    wall = time.perf_counter() - t0
+    print(f"done in {wall:.2f} s "
+          f"({result.n_evaluations / wall:.1f} evaluations/s)\n")
+    print(result.summary())
+    print()
+    report = MIC_AMP_SPEC.check(result.best.metrics)
+    print(report.format())
+    from repro.pga.specs import Bound
+
+    unsearched = [l.metric for l in MIC_AMP_SPEC.limits
+                  if l.metric not in result.best.metrics
+                  and l.bound is not Bound.INFO]
+    if unsearched:
+        print(f"(rows not searched per candidate — verify with "
+              f"`repro table1`: {', '.join(unsearched)})")
+    print()
+    print(result.pareto.format())
+    if args.pareto_csv:
+        result.pareto.to_csv(args.pareto_csv)
+        print(f"wrote {args.pareto_csv}")
+    if args.pareto_json:
+        result.pareto.to_json(args.pareto_json)
+        print(f"wrote {args.pareto_json}")
+    return 0 if (report.passed and result.best.feasible) else 1
+
+
 _BLOCKS = ("micamp", "powerbuffer", "bandgap", "bias", "opamp")
 
 
@@ -279,6 +345,45 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--csv", default=None, help="write the full table as CSV")
     pc.add_argument("--json", default=None, help="write the full table as JSON")
     pc.set_defaults(func=_cmd_campaign)
+
+    po2 = sub.add_parser(
+        "optimize",
+        help="spec-driven sizing search over the Sec. 3.2 design space",
+        description="Search the mic-amp sizing space (budget splits, "
+                    "currents, lengths, gain string) for a minimum "
+                    "current/area design meeting the Table 1 spec, with "
+                    "a noise/IQ/area Pareto front as a by-product.",
+    )
+    po2.add_argument("--budget", type=int, default=150,
+                     help="candidate-evaluation budget (default: 150)")
+    po2.add_argument("--seed", type=int, default=2026,
+                     help="optimizer RNG seed (runs are deterministic per seed)")
+    po2.add_argument("--mode", choices=("feasibility", "penalty"),
+                     default="feasibility",
+                     help="constraint handling (default: feasibility-first)")
+    po2.add_argument("--robust", action="store_true",
+                     help="score candidates worst-case over a PVT campaign "
+                          "instead of the typical point")
+    po2.add_argument("--corners", default=None,
+                     help="robust-mode corner list (default: tt,ss,ff; "
+                          "requires --robust)")
+    po2.add_argument("--temps", default=None,
+                     help="robust-mode temperature list [degC] "
+                          "(default: 25; requires --robust)")
+    po2.add_argument("--trials", type=int, default=None,
+                     help="robust-mode mismatch seeds on top of nominal "
+                          "(requires --robust)")
+    po2.add_argument("--workers", type=int, default=1,
+                     help="campaign process-pool workers (1 = serial)")
+    po2.add_argument("--quick", action="store_true",
+                     help="60-evaluation smoke run")
+    po2.add_argument("--no-progress", action="store_true",
+                     help="suppress per-improvement progress lines")
+    po2.add_argument("--pareto-csv", default=None,
+                     help="write the Pareto front as CSV")
+    po2.add_argument("--pareto-json", default=None,
+                     help="write the Pareto front as JSON")
+    po2.set_defaults(func=_cmd_optimize)
 
     pe = sub.add_parser("export", help="write a block's SPICE deck")
     pe.add_argument("block", choices=_BLOCKS)

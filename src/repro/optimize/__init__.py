@@ -1,0 +1,46 @@
+"""Spec-driven design-space optimization (Sec. 3's methodology, searched).
+
+The paper sizes its amplifier *backwards* from a noise spec; this
+package turns that walk into a search problem: a
+:class:`~repro.optimize.space.DesignSpace` over the sizing-walk inputs,
+an :class:`~repro.optimize.objective.Objective` derived from a
+:class:`~repro.pga.specs.Spec` table, a cached
+:class:`~repro.optimize.evaluate.CandidateEvaluator` that scores
+candidates through the campaign engine (typical or worst-case-PVT), the
+population search of :func:`~repro.optimize.optimizers.optimize`, and a
+:class:`~repro.optimize.pareto.ParetoFront` of the noise/current/area
+trade.  Front door: ``python -m repro optimize`` or
+:func:`~repro.optimize.micamp.optimize_mic_amp`.
+"""
+
+from repro.optimize.evaluate import (
+    CandidateEvaluator,
+    Evaluation,
+    RobustSettings,
+)
+from repro.optimize.micamp import mic_amp_objective, optimize_mic_amp
+from repro.optimize.objective import Objective
+from repro.optimize.optimizers import (
+    OptimizationResult,
+    latin_hypercube,
+    optimize,
+)
+from repro.optimize.pareto import ParetoFront, ParetoPoint
+from repro.optimize.space import DesignSpace, Parameter, mic_amp_design_space
+
+__all__ = [
+    "CandidateEvaluator",
+    "DesignSpace",
+    "Evaluation",
+    "Objective",
+    "OptimizationResult",
+    "Parameter",
+    "ParetoFront",
+    "ParetoPoint",
+    "RobustSettings",
+    "latin_hypercube",
+    "mic_amp_design_space",
+    "mic_amp_objective",
+    "optimize",
+    "optimize_mic_amp",
+]

@@ -1,0 +1,192 @@
+"""Candidate evaluation: one campaign per design, one cache above it.
+
+A :class:`CandidateEvaluator` turns a quantized design vector into
+``{metric: value}`` measurements by running the PR 2 campaign engine
+over the ``micamp_sized`` builder:
+
+* **typical mode** (``robust=None``) — a single-unit campaign (tt
+  corner, 25 degC, nominal devices): build the circuit once, solve one
+  DC operating point, and read every metric off the unit's shared
+  :class:`~repro.spice.linsolve.SmallSignalContext` factorization;
+* **robust mode** — the same candidate swept across a PVT x mismatch
+  :class:`RobustSettings` grid through any campaign executor (serial or
+  process pool — results are byte-identical by the campaign contract),
+  then collapsed to the spec-relevant worst case per metric
+  (:meth:`Objective.worst_sense`: floors take the minimum, ceilings the
+  maximum, symmetric errors the absolute maximum).
+
+Results are memoised in an **evaluation cache keyed on the quantized
+design vector** (:meth:`DesignSpace.key`), so optimizer moves that
+revisit a grid cell — population clustering near convergence, the
+coordinate-descent probes — cost a dict lookup instead of a Newton
+solve.  ``benchmarks/bench_optimize.py`` measures the combined effect
+against a naive per-candidate rebuild loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.optimize.objective import Objective
+from repro.optimize.space import DesignSpace
+from repro.process.technology import CMOS12, Technology
+
+#: Measurements taken per work unit: the optimizer's cost metrics
+#: (current, area) plus every Table 1 row the shared factorization can
+#: serve cheaply (all three noise spots, gain error, PSRR).  The rows
+#: left unmeasured — hd_0v2_db, snr_40db_db, supply_min_v — each need
+#: their own sweep (distortion staircase, psophometric integral, supply
+#: search) and are checked by `repro table1`, not per candidate; the CLI
+#: lists them as unsearched so a "PASS" verdict is read in context.
+DEFAULT_MEASUREMENTS: tuple[str, ...] = (
+    "iq_ma", "noise_voice", "gain_1khz_db", "psrr_1khz_db", "area_mm2",
+)
+
+
+@dataclass(frozen=True)
+class RobustSettings:
+    """The PVT x mismatch grid one candidate is scored across."""
+
+    corners: tuple[str, ...] = ("tt", "ss", "ff")
+    temps_c: tuple[float, ...] = (25.0,)
+    supplies: tuple[float | None, ...] = (None,)
+    seeds: tuple[int | None, ...] = (None,)
+
+    def __post_init__(self) -> None:
+        from repro.process.corners import CORNERS
+
+        object.__setattr__(self, "corners",
+                           tuple(str(c).lower() for c in self.corners))
+        unknown = [c for c in self.corners if c not in CORNERS]
+        if unknown:
+            raise KeyError(
+                f"unknown corners {unknown}; available: {sorted(CORNERS)}"
+            )
+
+    @property
+    def n_units(self) -> int:
+        return (len(self.corners) * len(self.temps_c)
+                * len(self.supplies) * len(self.seeds))
+
+
+@dataclass
+class Evaluation:
+    """One scored candidate (the evaluator's cache line)."""
+
+    x: np.ndarray                    # quantized design vector
+    metrics: dict[str, float]        # worst-case over the grid in robust mode
+    score: float
+    feasible: bool
+    error: str | None = None         # build/solve failure, if any
+
+
+class CandidateEvaluator:
+    """Evaluate design vectors through the campaign engine, with a memo
+    cache keyed on the quantized vector.
+
+    ``executor`` is any campaign executor (``None`` = serial); in robust
+    mode a process pool parallelises the per-candidate grid without
+    changing a single bit of the result.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objective: Objective,
+        tech: Technology = CMOS12,
+        *,
+        builder: str = "micamp_sized",
+        measurements: Sequence[str] = DEFAULT_MEASUREMENTS,
+        gain_code: int = 5,
+        robust: RobustSettings | None = None,
+        executor=None,
+    ) -> None:
+        self.space = space
+        self.objective = objective
+        self.tech = tech
+        self.builder = builder
+        self.measurements = tuple(measurements)
+        self.gain_code = gain_code
+        self.robust = robust
+        self.executor = executor
+        self.cache: dict[tuple, Evaluation] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_evaluations(self) -> int:
+        """Evaluations requested (hits + misses)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        n = self.n_evaluations
+        return self.cache_hits / n if n else 0.0
+
+    def units_per_candidate(self) -> int:
+        return self.robust.n_units if self.robust is not None else 1
+
+    # ------------------------------------------------------------------
+    def _campaign_spec(self, params: dict[str, float]) -> CampaignSpec:
+        rb = self.robust or RobustSettings(corners=("tt",))
+        return CampaignSpec(
+            builder=self.builder,
+            corners=rb.corners,
+            temps_c=rb.temps_c,
+            supplies=rb.supplies,
+            seeds=rb.seeds,
+            gain_codes=(self.gain_code,),
+            measurements=self.measurements,
+            tech=self.tech,
+            builder_kwargs=params,
+        )
+
+    def _aggregate(self, result) -> dict[str, float]:
+        """Collapse a campaign table to the spec-relevant worst case
+        (bound-direction-aware, two-sided for RANGE limits)."""
+        return {metric: self.objective.worst_case(metric, result.metric(metric))
+                for metric in result.metrics}
+
+    def _measure(self, x: np.ndarray) -> Evaluation:
+        params = self.space.as_dict(x)
+        try:
+            result = run_campaign(self._campaign_spec(params),
+                                  executor=self.executor)
+            metrics = self._aggregate(result)
+            error = None
+        except Exception as exc:  # infeasible region: no operating point,
+            # switch overdrive collapse, budget split > 1, ...
+            metrics = {}
+            error = f"{type(exc).__name__}: {exc}"
+        score = self.objective.score(metrics) if metrics else math.inf
+        feasible = bool(metrics) and self.objective.feasible(metrics)
+        return Evaluation(x=x, metrics=metrics, score=score,
+                          feasible=feasible, error=error)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray) -> Evaluation:
+        """Score one design vector (quantizes, then consults the cache)."""
+        q = self.space.quantize(np.asarray(x, dtype=float))
+        key = self.space.key(q)
+        hit = self.cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        ev = self._measure(q)
+        self.cache[key] = ev
+        return ev
+
+    def evaluate_population(self, xs: np.ndarray) -> list[Evaluation]:
+        """Score a ``(n, d)`` population (row order preserved)."""
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        return [self.evaluate(row) for row in xs]
+
+    def scores(self, xs: np.ndarray) -> np.ndarray:
+        return np.array([ev.score for ev in self.evaluate_population(xs)])

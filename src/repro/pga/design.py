@@ -191,3 +191,61 @@ def sizing_to_mic_amp_sizes(sizing: MicAmpSizing, base=None):
 def gain_control_for_sizing(sizing: MicAmpSizing) -> GainControl:
     """The gain network matching a sizing walk."""
     return GainControl(r_total=sizing.r_total)
+
+
+#: The flattened sizing-walk inputs (paper defaults) that
+#: :func:`mic_amp_parts_from_params` accepts.  The optimizer's mic-amp
+#: design space and the ``micamp_sized`` campaign builder both speak
+#: this vocabulary, so a candidate design travels as a plain
+#: ``{name: float}`` dict (picklable through ``CampaignSpec.builder_kwargs``).
+MIC_AMP_PARAM_DEFAULTS: dict[str, float] = {
+    "split_input_thermal": BudgetSplit.input_thermal,
+    "split_load_thermal": BudgetSplit.load_thermal,
+    "split_network": BudgetSplit.network,
+    "split_switches": BudgetSplit.switches,
+    "split_flicker": BudgetSplit.flicker_band_avg,
+    "i_pair": 0.8e-3,
+    "l_input": 8e-6,
+    "l_load": 25e-6,
+    "r_total": 25e3,
+}
+
+
+def mic_amp_parts_from_params(
+    tech: Technology,
+    params: dict[str, float],
+    budget: VoiceBandBudget | None = None,
+):
+    """Flattened sizing-walk inputs -> (:class:`MicAmpSizes`, :class:`GainControl`).
+
+    ``params`` may supply any subset of :data:`MIC_AMP_PARAM_DEFAULTS`;
+    the five ``split_*`` fractions form the :class:`BudgetSplit` of the
+    Eqs. 3-5 walk, ``i_pair``/``l_input``/``l_load`` are the free device
+    choices of :func:`derive_mic_amp_sizing`, and ``r_total`` sets the
+    Fig. 5 string directly (overriding the walk's Eq. 4 derivation, so
+    the network can be traded against loop gain independently of the
+    split).  Raises ``ValueError`` for unknown names or a split > 1 —
+    the optimizer treats both as infeasible candidates.
+    """
+    unknown = sorted(set(params) - set(MIC_AMP_PARAM_DEFAULTS))
+    if unknown:
+        raise ValueError(
+            f"unknown sizing parameters {unknown}; "
+            f"available: {sorted(MIC_AMP_PARAM_DEFAULTS)}"
+        )
+    p = {**MIC_AMP_PARAM_DEFAULTS, **{k: float(v) for k, v in params.items()}}
+    split = BudgetSplit(
+        input_thermal=p["split_input_thermal"],
+        load_thermal=p["split_load_thermal"],
+        network=p["split_network"],
+        switches=p["split_switches"],
+        flicker_band_avg=p["split_flicker"],
+    )
+    sizing = derive_mic_amp_sizing(
+        tech, budget=budget, split=split,
+        i_pair=p["i_pair"], l_input=p["l_input"], l_load=p["l_load"],
+    )
+    from dataclasses import replace
+
+    sizes = replace(sizing_to_mic_amp_sizes(sizing), i_pair=p["i_pair"])
+    return sizes, GainControl(r_total=p["r_total"])

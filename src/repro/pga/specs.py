@@ -11,6 +11,23 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 
+class SpecError(Exception):
+    """Raised by strict spec checks: carries every failing row (and any
+    metric missing from the measurements), not just the first one, so a
+    CI log or an optimizer trace shows the whole compliance picture."""
+
+    def __init__(self, name: str, failures: list["SpecRow"],
+                 missing: list[str]) -> None:
+        self.name = name
+        self.failures = failures
+        self.missing = missing
+        lines = [f"spec {name!r} not met:"]
+        lines += [f"  {row.format()}" for row in failures]
+        lines += [f"  {metric:<28s} (metric missing from measurements)"
+                  for metric in missing]
+        super().__init__("\n".join(lines))
+
+
 class Bound(Enum):
     """Direction of a spec limit."""
 
@@ -95,15 +112,24 @@ class Spec:
     limits: tuple[SpecLimit, ...]
 
     def check(self, measured: dict[str, float], strict: bool = False) -> SpecReport:
-        """Check measured values; missing metrics raise in strict mode."""
+        """Check measured values against every limit.
+
+        Missing metrics are skipped by default (a quick bench measures a
+        subset).  ``strict=True`` instead raises a :class:`SpecError`
+        listing *every* failing :class:`SpecRow` and every missing
+        non-INFO metric — one exception, the complete verdict.
+        """
         report = SpecReport(self.name)
+        missing: list[str] = []
         for limit in self.limits:
             if limit.metric not in measured:
-                if strict:
-                    raise KeyError(f"metric {limit.metric!r} missing from measurements")
+                if limit.bound is not Bound.INFO:
+                    missing.append(limit.metric)
                 continue
             value = measured[limit.metric]
             report.rows.append(SpecRow(limit, value, limit.check(value)))
+        if strict and (report.failures or missing):
+            raise SpecError(self.name, report.failures, missing)
         return report
 
 

@@ -43,8 +43,24 @@ def _node(name: str) -> str:
 
 
 def _fmt(value: float) -> str:
-    """Compact engineering formatting."""
-    return f"{value:.6g}"
+    """Shortest decimal that parses back to the exact value.
+
+    The old fixed ``.6g`` silently truncated mantissas (a hand-matched
+    24.9993 fF compensation trim exported as ``2.49993e-14`` is fine,
+    but a 7th significant digit was simply lost) and rendered negative
+    zero as ``-0``; this version widens the precision until the text
+    round-trips through ``float`` exactly, so sub-femto device values
+    survive an export -> re-import cycle bit-for-bit and zero is always
+    the literal ``0``.
+    """
+    v = float(value)
+    if v == 0.0:  # catches -0.0 too: "0", not "-0"
+        return "0"
+    for spec in (".6g", ".9g", ".12g", ".17g"):
+        text = format(v, spec)
+        if float(text) == v:
+            return text
+    return repr(v)  # unreachable: .17g always round-trips
 
 
 def _source_suffix(el: VoltageSource | CurrentSource) -> str:
@@ -161,11 +177,13 @@ def export_netlist(circuit: Circuit, title: str | None = None) -> str:
             raise TypeError(f"cannot export element type {type(el).__name__}")
 
     out.write("\n")
-    for model in mos_models.values():
+    # Model cards sorted by name: the deck is a canonical function of the
+    # circuit *contents*, not of the order devices happened to be added.
+    for _, model in sorted(mos_models.items()):
         out.write(_mos_model_card(model) + "\n")
-    for model in bjt_models.values():
+    for _, model in sorted(bjt_models.items()):
         out.write(_bjt_model_card(model) + "\n")
-    for model in diode_models.values():
+    for _, model in sorted(diode_models.items()):
         out.write(_diode_model_card(model) + "\n")
     out.write(".end\n")
     return out.getvalue()

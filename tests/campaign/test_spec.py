@@ -75,6 +75,49 @@ class TestValidation:
         assert clone == spec
 
 
+class TestBuilderKwargs:
+    def test_canonicalised_to_sorted_float_pairs(self):
+        spec = CampaignSpec(builder_kwargs={"r_total": 30e3, "i_pair": 1e-3})
+        assert spec.builder_kwargs == (("i_pair", 1e-3), ("r_total", 30000.0))
+        # pair-sequence input lands on the same canonical form (hash/pickle)
+        assert spec == CampaignSpec(
+            builder_kwargs=(("r_total", 30000.0), ("i_pair", 1e-3)))
+
+    def test_kwargs_spec_pickles(self):
+        spec = CampaignSpec(builder="micamp_sized",
+                            builder_kwargs={"l_load": 20e-6})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_sized_builder_receives_kwargs(self):
+        from repro.campaign import run_campaign
+
+        base = dict(corners=("tt",), temps_c=(25.0,), gain_codes=(5,),
+                    measurements=("iq_ma",))
+        lo = run_campaign(CampaignSpec(
+            builder="micamp_sized", builder_kwargs={"i_pair": 0.4e-3}, **base))
+        hi = run_campaign(CampaignSpec(
+            builder="micamp_sized", builder_kwargs={"i_pair": 1.2e-3}, **base))
+        assert lo.metric("iq_ma")[0] < hi.metric("iq_ma")[0]
+
+    def test_plain_builders_reject_kwargs(self):
+        from repro.campaign import run_campaign
+
+        spec = CampaignSpec(builder="micamp", corners=("tt",), temps_c=(25.0,),
+                            measurements=("iq_ma",),
+                            builder_kwargs={"i_pair": 1e-3})
+        with pytest.raises(TypeError):
+            run_campaign(spec)
+
+    def test_sized_builder_rejects_unknown_parameter(self):
+        from repro.campaign import run_campaign
+
+        spec = CampaignSpec(builder="micamp_sized", corners=("tt",),
+                            temps_c=(25.0,), measurements=("iq_ma",),
+                            builder_kwargs={"w_banana": 1.0})
+        with pytest.raises(ValueError, match="unknown sizing parameters"):
+            run_campaign(spec)
+
+
 class TestMcSeeds:
     def test_deterministic(self):
         assert mc_seeds(5, 2026) == mc_seeds(5, 2026)

@@ -1,0 +1,121 @@
+"""Objective scoring: costs, normalised violations, both constraint modes."""
+
+import math
+
+import pytest
+
+from repro.optimize.objective import INFEASIBLE_OFFSET, Objective, worst_sense
+from repro.pga.specs import Bound, Spec, SpecLimit
+
+SPEC = Spec("demo", (
+    SpecLimit("noise", Bound.MAX, 6.0, "nV"),
+    SpecLimit("psrr", Bound.MIN, 75.0, "dB"),
+    SpecLimit("gain_err", Bound.ABS_MAX, 0.05, "dB"),
+    SpecLimit("area", Bound.RANGE, (0.5, 2.0), "mm^2"),
+    SpecLimit("fyi", Bound.INFO, 0.0, "x"),
+))
+
+
+def objective(mode="feasibility"):
+    return Objective(spec=SPEC, minimize=(("iq", 1.0),), mode=mode)
+
+
+PASSING = {"iq": 2.0, "noise": 5.0, "psrr": 80.0, "gain_err": -0.04, "area": 1.0}
+
+
+class TestViolations:
+    def test_passing_point_has_no_violations(self):
+        assert objective().violations(PASSING) == {
+            "noise": 0.0, "psrr": 0.0, "gain_err": 0.0, "area": 0.0}
+        assert objective().feasible(PASSING)
+
+    def test_each_bound_direction(self):
+        obj = objective()
+        v = obj.violations({**PASSING, "noise": 6.6})
+        assert v["noise"] == pytest.approx(0.1)
+        v = obj.violations({**PASSING, "psrr": 67.5})
+        assert v["psrr"] == pytest.approx(0.1)
+        v = obj.violations({**PASSING, "gain_err": -0.06})
+        assert v["gain_err"] == pytest.approx(0.2)
+        v = obj.violations({**PASSING, "area": 2.2})
+        assert v["area"] == pytest.approx(0.1)
+        v = obj.violations({**PASSING, "area": 0.3})
+        assert v["area"] == pytest.approx(0.1)
+
+    def test_info_rows_never_constrain(self):
+        assert objective().feasible({**PASSING, "fyi": 1e9})
+
+    def test_missing_metrics_skipped(self):
+        v = objective().violations({"iq": 1.0, "noise": 5.0})
+        assert set(v) == {"noise"}
+
+    def test_nan_measurement_is_violated(self):
+        v = objective().violations({**PASSING, "noise": float("nan")})
+        assert v["noise"] == 1.0
+
+
+class TestScoring:
+    def test_feasibility_mode_feasible_scores_cost(self):
+        assert objective().score(PASSING) == pytest.approx(2.0)
+
+    def test_feasibility_mode_infeasible_always_worse(self):
+        obj = objective()
+        bad = {**PASSING, "noise": 6.1, "iq": 0.01}
+        assert obj.score(bad) > INFEASIBLE_OFFSET
+        assert obj.score(bad) > obj.score({**PASSING, "iq": 100.0})
+
+    def test_feasibility_mode_ranks_infeasible_by_violation(self):
+        obj = objective()
+        assert obj.score({**PASSING, "noise": 6.1}) < \
+            obj.score({**PASSING, "noise": 7.0})
+
+    def test_penalty_mode_trades_cost_and_violation(self):
+        obj = objective(mode="penalty")
+        # violation 0.1 * weight 100 = 10 added to cost 2
+        assert obj.score({**PASSING, "noise": 6.6}) == pytest.approx(12.0)
+
+    def test_empty_metrics_scores_infinite_cost_tier(self):
+        assert objective().score({}) > 2 * INFEASIBLE_OFFSET - 1
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            Objective(spec=SPEC, mode="magic")
+
+    def test_cost_with_nonfinite_metric(self):
+        assert objective().cost({"iq": math.inf}) == math.inf
+
+
+class TestWorstSense:
+    def test_bound_directions(self):
+        assert worst_sense(Bound.MIN) == "min"
+        assert worst_sense(Bound.MAX) == "max"
+        assert worst_sense(Bound.ABS_MAX) == "absmax"
+        assert worst_sense(Bound.RANGE) == "max"
+
+    def test_objective_lookup_defaults_to_max(self):
+        obj = objective()
+        assert obj.worst_sense("psrr") == "min"
+        assert obj.worst_sense("gain_err") == "absmax"
+        assert obj.worst_sense("iq") == "max"  # unconstrained cost
+
+
+class TestWorstCase:
+    def test_directional_bounds(self):
+        obj = objective()
+        assert obj.worst_case("psrr", [80.0, 76.0, 90.0]) == 76.0
+        assert obj.worst_case("noise", [5.0, 5.9, 5.5]) == 5.9
+        assert obj.worst_case("gain_err", [0.03, -0.045, 0.01]) == -0.045
+        assert obj.worst_case("iq", [1.0, 2.0]) == 2.0  # unconstrained cost
+
+    def test_range_bound_is_two_sided(self):
+        """A population straddling a RANGE limit must report whichever
+        extreme violates more — max() alone would mask a floor breach."""
+        obj = objective()
+        # area RANGE (0.5, 2.0): one unit below the floor, one inside
+        assert obj.worst_case("area", [0.3, 1.5]) == 0.3
+        # one above the ceiling, one inside
+        assert obj.worst_case("area", [1.5, 2.2]) == 2.2
+        # floor breach worse than ceiling breach
+        assert obj.worst_case("area", [0.1, 2.1]) == 0.1
+        # both compliant: conservative ceiling
+        assert obj.worst_case("area", [0.8, 1.5]) == 1.5

@@ -7,6 +7,7 @@ from repro.pga.specs import (
     MIC_AMP_SPEC,
     POWER_BUFFER_SPEC,
     Spec,
+    SpecError,
     SpecLimit,
 )
 
@@ -32,6 +33,23 @@ class TestBounds:
         limit = SpecLimit("m", Bound.INFO, 0.0, "x")
         assert limit.check(1e9)
 
+    def test_value_exactly_at_limit_passes(self):
+        """Boundary semantics: every bound is inclusive."""
+        assert SpecLimit("m", Bound.MIN, 10.0, "x").check(10.0)
+        assert SpecLimit("m", Bound.MAX, 10.0, "x").check(10.0)
+        assert SpecLimit("m", Bound.ABS_MAX, 0.05, "dB").check(0.05)
+        assert SpecLimit("m", Bound.ABS_MAX, 0.05, "dB").check(-0.05)
+        limit = SpecLimit("m", Bound.RANGE, (1.0, 2.0), "x")
+        assert limit.check(1.0) and limit.check(2.0)
+
+    def test_value_just_past_limit_fails(self):
+        eps = 1e-12
+        assert not SpecLimit("m", Bound.MIN, 10.0, "x").check(10.0 - eps)
+        assert not SpecLimit("m", Bound.MAX, 10.0, "x").check(10.0 + eps)
+        assert not SpecLimit("m", Bound.ABS_MAX, 0.05, "dB").check(0.05 + eps)
+        limit = SpecLimit("m", Bound.RANGE, (1.0, 2.0), "x")
+        assert not limit.check(1.0 - eps) and not limit.check(2.0 + eps)
+
 
 class TestReports:
     def test_passing_report(self):
@@ -54,10 +72,51 @@ class TestReports:
         assert report.rows == []
         assert report.passed  # vacuous
 
-    def test_missing_metric_strict_raises(self):
+    def test_missing_metric_strict_raises_spec_error(self):
         spec = Spec("demo", (SpecLimit("a", Bound.MAX, 1.0, "V"),))
-        with pytest.raises(KeyError):
+        with pytest.raises(SpecError) as exc:
             spec.check({}, strict=True)
+        assert exc.value.missing == ["a"]
+        assert exc.value.failures == []
+
+    def test_strict_lists_every_failing_row(self):
+        spec = Spec("demo", (
+            SpecLimit("a", Bound.MAX, 1.0, "V"),
+            SpecLimit("b", Bound.MIN, 1.0, "V"),
+            SpecLimit("c", Bound.ABS_MAX, 0.1, "dB"),
+            SpecLimit("d", Bound.INFO, 0.0, "x"),
+        ))
+        with pytest.raises(SpecError) as exc:
+            spec.check({"a": 2.0, "b": 0.5, "c": 0.05}, strict=True)
+        err = exc.value
+        assert [row.limit.metric for row in err.failures] == ["a", "b"]
+        assert err.missing == []
+        text = str(err)
+        assert "a" in text and "b" in text and "FAIL" in text
+
+    def test_strict_reports_failures_and_missing_together(self):
+        spec = Spec("demo", (
+            SpecLimit("a", Bound.MAX, 1.0, "V"),
+            SpecLimit("gone", Bound.MIN, 5.0, "V"),
+        ))
+        with pytest.raises(SpecError) as exc:
+            spec.check({"a": 2.0}, strict=True)
+        assert [row.limit.metric for row in exc.value.failures] == ["a"]
+        assert exc.value.missing == ["gone"]
+        assert "missing" in str(exc.value)
+
+    def test_strict_missing_info_row_is_fine(self):
+        spec = Spec("demo", (
+            SpecLimit("a", Bound.MAX, 1.0, "V"),
+            SpecLimit("fyi", Bound.INFO, 0.0, "x"),
+        ))
+        report = spec.check({"a": 0.5}, strict=True)  # must not raise
+        assert report.passed
+
+    def test_strict_passing_check_returns_report(self):
+        spec = Spec("demo", (SpecLimit("a", Bound.MAX, 1.0, "V"),))
+        report = spec.check({"a": 0.5}, strict=True)
+        assert report.passed and len(report.rows) == 1
 
 
 class TestPaperTables:

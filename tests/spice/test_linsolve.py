@@ -97,6 +97,80 @@ class TestSpectralSolver:
         assert_solutions_close(fwd, ref)
 
 
+class TestSpectralFallback:
+    """The residual check -> LU fallback path: an ill-conditioned sweep
+    must be *rejected* by the Schur fast path and silently served by the
+    batched LU path, matching the looped reference."""
+
+    def _ill_conditioned(self, n=12, seed=0):
+        """A Hilbert-matrix G (condition number ~1e16): the Schur basis is
+        computed from an inaccurate M = G^-1 C, so the substituted
+        solutions carry O(1e-4) relative error — far beyond the 1e-10
+        scaled-residual gate — while plain LU on A = G + jwC stays
+        backward-stable and accurate."""
+        from scipy.linalg import hilbert
+
+        rng = np.random.default_rng(seed)
+        g = hilbert(n) + 1e-14 * np.eye(n)
+        c = rng.standard_normal((n, n)) * 1e-9
+        return g, c, rng.standard_normal(n)
+
+    def test_residual_check_rejects_ill_conditioned_sweep(self):
+        g, c, rhs = self._ill_conditioned()
+        freqs = np.logspace(1, 6, 24)
+        solver = SpectralSolver(g, c)  # construction itself succeeds
+        assert solver.solve(freqs, rhs=rhs) is None
+
+    def test_fallback_result_matches_looped_reference(self):
+        """What the caller actually receives after the rejection: the
+        batched-LU answer, equivalent to the per-frequency loop."""
+        g, c, rhs = self._ill_conditioned()
+        freqs = np.logspace(1, 6, 24)
+        adj = np.eye(12)[:, :2]
+        fwd, psi = solve_stacked(g, c, freqs, rhs=rhs, adjoint_rhs=adj)
+        fwd_ref, psi_ref = solve_looped(g, c, freqs, rhs=rhs, adjoint_rhs=adj)
+        assert_solutions_close(fwd, fwd_ref)
+        assert_solutions_close(psi, psi_ref)
+
+    def test_adjoint_rejection_also_falls_back(self):
+        g, c, rhs = self._ill_conditioned(seed=3)
+        freqs = np.logspace(1, 6, 24)
+        solver = SpectralSolver(g, c)
+        assert solver.solve(freqs, adjoint_rhs=np.eye(12)[:, :1]) is None
+
+    def test_context_falls_back_when_residual_gate_trips(
+            self, mic_amp_40db, mic_amp_op, monkeypatch):
+        """End-to-end wiring on a real circuit: force the gate shut and
+        assert SmallSignalContext.solve silently serves the batched-LU
+        answer (identical to the looped reference) for a dense sweep
+        that would otherwise ride the Schur path."""
+        import repro.spice.linsolve as linsolve
+
+        ctx = mic_amp_op.small_signal()
+        b = ctx.rhs_ac()
+        assert ctx.spectral() is not None  # healthy circuit, fast path alive
+        monkeypatch.setattr(linsolve, "SPECTRAL_RESIDUAL_TOL", -1.0)
+        assert ctx.spectral().solve(FREQS, rhs=b) is None  # gate now trips
+        fwd, _ = ctx.solve(FREQS, rhs=b)
+        ref, _ = solve_looped(ctx.g, ctx.c, FREQS, rhs=b)
+        assert_solutions_close(fwd, ref)
+
+    def test_rejection_is_per_sweep_not_sticky(self, mic_amp_40db, mic_amp_op,
+                                               monkeypatch):
+        """A rejected sweep must not kill the fast path for later sweeps
+        (the context keeps the decomposition; only _spectral_dead —
+        construction failure — is permanent)."""
+        import repro.spice.linsolve as linsolve
+
+        ctx = mic_amp_op.small_signal()
+        b = ctx.rhs_ac()
+        monkeypatch.setattr(linsolve, "SPECTRAL_RESIDUAL_TOL", -1.0)
+        ctx.solve(FREQS, rhs=b)               # rejected, served by LU
+        monkeypatch.setattr(linsolve, "SPECTRAL_RESIDUAL_TOL", 1e-10)
+        assert not ctx._spectral_dead
+        assert ctx.spectral().solve(FREQS, rhs=b) is not None
+
+
 class TestAcEquivalence:
     def test_micamp_batched_matches_looped(self, mic_amp_40db, mic_amp_op):
         batched = ac_analysis(mic_amp_op, FREQS)

@@ -79,3 +79,23 @@ class TestCommands:
                      "--seeds", "7", "--codes", "0,5",
                      "--measure", "gain_1khz_db"]) == 0
         assert "2 codes" in capsys.readouterr().out
+
+    def test_optimize_quick_passes_table1(self, tmp_path, capsys):
+        front = tmp_path / "front.json"
+        assert main(["optimize", "--quick", "--no-progress",
+                     "--pareto-json", str(front)]) == 0
+        out = capsys.readouterr().out
+        assert "overall: PASS" in out
+        assert "Pareto front" in out
+        assert front.exists()
+
+    def test_optimize_bad_corner_rejected(self, capsys):
+        assert main(["optimize", "--robust", "--corners", "nope",
+                     "--budget", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_optimize_grid_flags_require_robust(self, capsys):
+        assert main(["optimize", "--corners", "tt,ss", "--budget", "4"]) == 2
+        assert "--robust" in capsys.readouterr().err
+        assert main(["optimize", "--trials", "2", "--budget", "4"]) == 2
+        assert "--robust" in capsys.readouterr().err

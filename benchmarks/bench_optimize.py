@@ -160,6 +160,7 @@ def run_bench(smoke: bool) -> dict:
         "n_evaluations": n,
         "n_distinct": len({space.key(x) for x in stream}),
         "cache_hit_rate": hit_rate,
+        "evaluator_stats": evaluator.stats(),
         "naive_s": t_naive,
         "engine_s": t_engine,
         "naive_evals_per_s": n / t_naive,

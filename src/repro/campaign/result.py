@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -49,6 +50,10 @@ def _axis_values(unit: WorkUnit) -> tuple:
 
 class CampaignResult:
     """One structured array of axis + metric columns, plus reducers."""
+
+    #: Set by store-backed ``run_campaign`` runs: ``{"reused_units",
+    #: "executed_units", "store_root"}``; ``None`` for plain runs.
+    store_stats: dict | None = None
 
     def __init__(self, data: np.ndarray, metrics: tuple[str, ...],
                  spec: CampaignSpec | None = None) -> None:
@@ -108,18 +113,46 @@ class CampaignResult:
             for row in self.data:
                 writer.writerow([row[c] for c in self.columns])
 
+    @staticmethod
+    def _json_value(v):
+        """Strict-JSON encoding of one cell: NaN -> null, +/-inf ->
+        ``"Infinity"`` / ``"-Infinity"`` string tokens (failed units
+        produce such values, and bare ``Infinity`` literals are not
+        valid JSON)."""
+        if isinstance(v, float):
+            if math.isnan(v):
+                return None
+            if math.isinf(v):
+                return "Infinity" if v > 0 else "-Infinity"
+        return v
+
+    @staticmethod
+    def _from_json_value(v):
+        if v is None:
+            return math.nan
+        if v == "Infinity":
+            return math.inf
+        if v == "-Infinity":
+            return -math.inf
+        return v
+
     def to_json(self, path=None) -> str:
         """Serialise as JSON ``{"metrics": [...], "columns": {name: [...]}}``;
-        returns the JSON text and optionally writes it to ``path``."""
+        returns the JSON text and optionally writes it to ``path``.
+
+        The output is *strict* JSON even for non-finite metric values
+        (see :meth:`_json_value`), and re-serialising
+        ``from_json(to_json(r))`` reproduces the text byte-for-byte —
+        floats are rendered in their shortest round-trip form.
+        """
         payload = {
             "metrics": list(self.metrics),
             "columns": {
-                name: [None if (isinstance(v, float) and np.isnan(v)) else v
-                       for v in (self.data[name].tolist())]
+                name: [self._json_value(v) for v in self.data[name].tolist()]
                 for name in self.columns
             },
         }
-        text = json.dumps(payload, indent=2)
+        text = json.dumps(payload, indent=2, allow_nan=False)
         if path is not None:
             with open(path, "w") as fh:
                 fh.write(text + "\n")
@@ -139,8 +172,10 @@ class CampaignResult:
         dtype = np.dtype(_AXIS_DTYPES + [(m, "f8") for m in metrics])
         data = np.empty(n, dtype=dtype)
         for name in data.dtype.names:
-            values = [np.nan if v is None else v for v in cols[name]]
-            data[name] = values
+            if name == "corner":
+                data[name] = cols[name]
+            else:
+                data[name] = [cls._from_json_value(v) for v in cols[name]]
         return cls(data, metrics)
 
     # ------------------------------------------------------------------

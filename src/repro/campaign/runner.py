@@ -113,7 +113,29 @@ def run_chunk(spec: CampaignSpec, units: list[WorkUnit]) -> list[dict[str, float
     return [run_unit(spec, unit, cache) for unit in units]
 
 
-def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = None):
+def _execute_units(spec: CampaignSpec, units: list[WorkUnit], executor,
+                   chunk_size: int | None) -> list[dict[str, float]]:
+    """Run ``units`` through ``executor`` in contiguous chunks.
+
+    Handles the edge cases uniformly for every executor: an empty unit
+    list produces zero chunks (no pool is spun up, no worker message
+    sent) and a ``chunk_size`` larger than the unit count degenerates to
+    a single chunk.
+    """
+    size = executor.default_chunk_size(spec) if chunk_size is None else chunk_size
+    if size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {size}")
+    if not units:
+        return []
+    chunks = [units[i:i + size] for i in range(0, len(units), size)]
+    records: list[dict[str, float]] = []
+    for chunk_records in executor.map_chunks(spec, chunks):
+        records.extend(chunk_records)
+    return records
+
+
+def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = None,
+                 store=None, units: list[WorkUnit] | None = None):
     """Expand, execute and collect a campaign into a ``CampaignResult``.
 
     ``executor`` defaults to :class:`~repro.campaign.executors.SerialExecutor`;
@@ -121,18 +143,57 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
     for multi-core hosts.  ``chunk_size`` defaults to the executor's
     heuristic (all-in-one-chunk for serial; a few chunks per worker for
     the pool, so the per-chunk circuit cache still amortises builds).
+
+    ``store`` (a :class:`repro.store.ResultStore`) makes the run
+    **incremental**: units whose content-addressed key is already stored
+    are read back instead of executed, freshly executed records are
+    written back, and the merged result is byte-identical to a
+    store-less run — the executor only ever sees the missing units, and
+    record floats round-trip the store exactly.  The partition is
+    reported on ``result.store_stats``.
+
+    ``units`` restricts execution to an explicit subset of the
+    expansion (the result then covers exactly those units, in the given
+    order).  An empty subset is legal and yields a well-formed
+    zero-row result.
     """
     from repro.campaign.executors import SerialExecutor
     from repro.campaign.result import CampaignResult
 
     if executor is None:
         executor = SerialExecutor()
-    units = spec.expand()
-    size = executor.default_chunk_size(spec) if chunk_size is None else chunk_size
-    if size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {size}")
-    chunks = [units[i:i + size] for i in range(0, len(units), size)]
-    records: list[dict[str, float]] = []
-    for chunk_records in executor.map_chunks(spec, chunks):
-        records.extend(chunk_records)
-    return CampaignResult.from_units(spec, units, records)
+    units = spec.expand() if units is None else list(units)
+
+    if store is None:
+        records = _execute_units(spec, units, executor, chunk_size)
+        return CampaignResult.from_units(spec, units, records)
+
+    from repro.store import UnitKeyer
+
+    keyer = UnitKeyer(spec)
+    keys = [keyer.key(unit) for unit in units]
+    cached = store.get_many(keys)
+    missing = [(u, k) for u, k in zip(units, keys) if k not in cached]
+    fresh = _execute_units(spec, [u for u, _ in missing], executor, chunk_size)
+    fresh_by_key = {}
+    entries = []
+    for (unit, key), record in zip(missing, fresh):
+        entries.append((key, record, "campaign-unit", {
+            "builder": spec.builder,
+            "corner": unit.corner,
+            "temp_c": unit.temp_c,
+            "supply": unit.supply,
+            "seed": unit.seed,
+            "gain_code": unit.gain_code,
+            "measurements": list(spec.measurements),
+        }))
+        fresh_by_key[key] = record
+    store.put_many(entries)
+    records = [cached[k] if k in cached else fresh_by_key[k] for k in keys]
+    result = CampaignResult.from_units(spec, units, records)
+    result.store_stats = {
+        "reused_units": len(units) - len(missing),
+        "executed_units": len(missing),
+        "store_root": str(store.root),
+    }
+    return result

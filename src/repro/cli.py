@@ -9,7 +9,10 @@ Gives the reproduction a bench-style front door:
 * ``opamp``                   — the modulator opamp's figures of merit;
 * ``campaign``                — declarative PVT x mismatch x gain-code
   characterization sweeps through :mod:`repro.campaign`, with optional
-  parallel execution and CSV/JSON export;
+  parallel execution, CSV/JSON export and ``--store``-backed
+  incremental reruns;
+* ``store ls|stat|gc|export`` — inspect and maintain a persistent
+  result store (:mod:`repro.store`);
 * ``export <block> <file>``   — write a block's SPICE deck for
   cross-checking with an external simulator.
 """
@@ -150,20 +153,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         executor = ProcessPoolCampaignExecutor(max_workers=args.workers)
     else:
         executor = SerialExecutor()
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     print(f"campaign: {spec.n_units} units "
           f"({len(spec.corners)} corners x {len(spec.temps_c)} temps x "
           f"{len(spec.supplies)} supplies x {len(spec.seeds)} seeds x "
           f"{len(spec.gain_codes)} codes), executor={executor.name}")
     t0 = time.perf_counter()
     try:
-        result = run_campaign(spec, executor=executor, chunk_size=args.chunk)
+        result = run_campaign(spec, executor=executor, chunk_size=args.chunk,
+                              store=store)
     except ValueError as exc:
         # Builder/measurement incompatibilities surface at run time (e.g.
         # gain codes on a codeless builder); report them like parse errors.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     wall = time.perf_counter() - t0
-    print(f"done in {wall:.2f} s ({spec.n_units / wall:.1f} units/s)\n")
+    print(f"done in {wall:.2f} s ({spec.n_units / wall:.1f} units/s)")
+    if result.store_stats is not None:
+        print(f"store: {result.store_stats['reused_units']} reused, "
+              f"{result.store_stats['executed_units']} executed "
+              f"(root {result.store_stats['store_root']})")
+    print()
     print(result.summary())
     for metric in result.metrics:
         worst = result.worst_by(metric, by=("corner",), sense="min")
@@ -209,6 +223,11 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             return 2
     executor = (ProcessPoolCampaignExecutor(max_workers=args.workers)
                 if args.workers > 1 else None)
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
 
     budget = 60 if args.quick else args.budget
     grid = robust.n_units if robust else 1
@@ -217,13 +236,20 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     result = optimize_mic_amp(
         budget=budget, seed=args.seed, mode=args.mode,
-        robust=robust, executor=executor,
+        robust=robust, executor=executor, store=store,
         log=(None if args.no_progress else print),
     )
     wall = time.perf_counter() - t0
     print(f"done in {wall:.2f} s "
           f"({result.n_evaluations / wall:.1f} evaluations/s)\n")
     print(result.summary())
+    if args.verbose and result.evaluator_stats is not None:
+        s = result.evaluator_stats
+        print(f"evaluator cache: {s['evaluations']} evaluations, "
+              f"{s['hits']} hits / {s['misses']} misses "
+              f"(hit rate {s['hit_rate']:.0%}), "
+              f"store hits {s['store_hits']}, "
+              f"simulated {s['simulated']}")
     print()
     report = MIC_AMP_SPEC.check(result.best.metrics)
     print(report.format())
@@ -244,6 +270,45 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         result.pareto.to_json(args.pareto_json)
         print(f"wrote {args.pareto_json}")
     return 0 if (report.passed and result.best.feasible) else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.store import open_store
+
+    store = open_store(args.store)
+    if args.store_cmd == "ls":
+        rows = list(store.entries(kind=args.kind))
+        for key, kind, nbytes, created, meta in rows[:args.limit]:
+            age = _time.time() - created
+            tag = (f"{meta.get('builder', '?')}" if meta else "?")
+            print(f"{key[:16]}  {kind:<14} {nbytes:>7} B  "
+                  f"{age:8.0f} s ago  {tag}")
+        if len(rows) > args.limit:
+            print(f"... ({len(rows) - args.limit} more; --limit to see them)")
+        if not rows:
+            print(f"(store at {store.root} is empty)")
+        return 0
+    if args.store_cmd == "stat":
+        stat = store.stat()
+        print(f"store {stat['root']}: {stat['entries']} entries, "
+              f"{stat['bytes']} bytes")
+        for kind, info in stat["kinds"].items():
+            print(f"  {kind:<14} {info['entries']:>6} entries  "
+                  f"{info['bytes']:>9} bytes")
+        return 0
+    if args.store_cmd == "gc":
+        summary = store.gc()
+        print(f"gc: removed {summary['removed_rows']} dangling index rows, "
+              f"{summary['removed_files']} orphan files; "
+              f"{summary['entries']} entries remain")
+        return 0
+    if args.store_cmd == "export":
+        n = store.export(args.output, kind=args.kind)
+        print(f"wrote {args.output} ({n} entries)")
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_cmd!r}")
 
 
 _BLOCKS = ("micamp", "powerbuffer", "bandgap", "bias", "opamp")
@@ -344,6 +409,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="units per dispatch chunk (default: executor heuristic)")
     pc.add_argument("--csv", default=None, help="write the full table as CSV")
     pc.add_argument("--json", default=None, help="write the full table as JSON")
+    pc.add_argument("--store", default=None, metavar="ROOT",
+                    help="persistent result store root: reuse cached units, "
+                         "execute only missing ones (byte-identical merge)")
     pc.set_defaults(func=_cmd_campaign)
 
     po2 = sub.add_parser(
@@ -383,7 +451,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the Pareto front as CSV")
     po2.add_argument("--pareto-json", default=None,
                      help="write the Pareto front as JSON")
+    po2.add_argument("--store", default=None, metavar="ROOT",
+                     help="persistent evaluation store root: resume "
+                          "measured candidates across runs/processes")
+    po2.add_argument("--verbose", action="store_true",
+                     help="print evaluator cache statistics (memo + store)")
     po2.set_defaults(func=_cmd_optimize)
+
+    pst = sub.add_parser(
+        "store",
+        help="inspect / maintain a persistent result store",
+        description="List, summarise, garbage-collect or export the "
+                    "content-addressed result store used by --store "
+                    "campaign and optimize runs.",
+    )
+    pstsub = pst.add_subparsers(dest="store_cmd", required=True)
+    pls = pstsub.add_parser("ls", help="list entries, newest first")
+    pls.add_argument("--kind", default=None,
+                     help="filter by kind (campaign-unit, design-eval)")
+    pls.add_argument("--limit", type=int, default=20,
+                     help="max rows to print (default: 20)")
+    pstat = pstsub.add_parser("stat", help="entry/byte totals per kind")
+    pgc = pstsub.add_parser("gc", help="drop dangling rows + orphan files")
+    pexp = pstsub.add_parser("export", help="dump entries as one JSON file")
+    pexp.add_argument("output", help="output JSON path")
+    pexp.add_argument("--kind", default=None, help="filter by kind")
+    for sp in (pls, pstat, pgc, pexp):
+        sp.add_argument("--store", default=None, metavar="ROOT",
+                        help="store root (default: $REPRO_STORE or "
+                             "~/.cache/repro-store)")
+        sp.set_defaults(func=_cmd_store)
 
     pe = sub.add_parser("export", help="write a block's SPICE deck")
     pe.add_argument("block", choices=_BLOCKS)

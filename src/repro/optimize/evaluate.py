@@ -21,6 +21,20 @@ revisit a grid cell — population clustering near convergence, the
 coordinate-descent probes — cost a dict lookup instead of a Newton
 solve.  ``benchmarks/bench_optimize.py`` measures the combined effect
 against a naive per-candidate rebuild loop.
+
+Passing ``store=`` (a :class:`repro.store.ResultStore`) adds a
+**persistent backend** beneath the in-memory memo: every measured
+candidate is written to disk under a content-addressed key (quantized
+vector + full space definition + evaluator context, see
+:func:`repro.store.keys.design_key`), and misses consult the store
+before simulating — so a repeated or extended search resumes across
+processes.  Only measured metrics and the error string are persisted;
+score and feasibility are recomputed from the *current* objective on
+load, so re-weighting a cost function never invalidates stored
+simulations.  (In robust mode the stored metrics are worst-case
+aggregates whose direction follows the spec's bound structure, so that
+structure joins the key — see :meth:`CandidateEvaluator._aggregation_fingerprint`.)
+:meth:`CandidateEvaluator.stats` reports both cache levels.
 """
 
 from __future__ import annotations
@@ -83,6 +97,10 @@ class Evaluation:
     score: float
     feasible: bool
     error: str | None = None         # build/solve failure, if any
+    #: True when ``error`` came from infrastructure (a broken worker
+    #: pool, OS failure), not from the candidate itself — such a result
+    #: must never be persisted as the design's permanent verdict.
+    transient: bool = False
 
 
 class CandidateEvaluator:
@@ -105,6 +123,7 @@ class CandidateEvaluator:
         gain_code: int = 5,
         robust: RobustSettings | None = None,
         executor=None,
+        store=None,
     ) -> None:
         self.space = space
         self.objective = objective
@@ -114,9 +133,13 @@ class CandidateEvaluator:
         self.gain_code = gain_code
         self.robust = robust
         self.executor = executor
+        self.store = store
         self.cache: dict[tuple, Evaluation] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self._store_context: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -128,6 +151,20 @@ class CandidateEvaluator:
     def cache_hit_rate(self) -> float:
         n = self.n_evaluations
         return self.cache_hits / n if n else 0.0
+
+    def stats(self) -> dict:
+        """Both cache levels in one dict: in-memory memo hits/misses and
+        hit rate, plus persistent-backend (store) hits/misses and the
+        number of candidates that actually reached a simulation."""
+        return {
+            "evaluations": self.n_evaluations,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_rate": self.cache_hit_rate,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "simulated": self.cache_misses - self.store_hits,
+        }
 
     def units_per_candidate(self) -> int:
         return self.robust.n_units if self.robust is not None else 1
@@ -154,7 +191,10 @@ class CandidateEvaluator:
                 for metric in result.metrics}
 
     def _measure(self, x: np.ndarray) -> Evaluation:
+        from concurrent.futures import BrokenExecutor
+
         params = self.space.as_dict(x)
+        transient = False
         try:
             result = run_campaign(self._campaign_spec(params),
                                   executor=self.executor)
@@ -164,14 +204,85 @@ class CandidateEvaluator:
             # switch overdrive collapse, budget split > 1, ...
             metrics = {}
             error = f"{type(exc).__name__}: {exc}"
+            # ... unless the *infrastructure* failed, which says nothing
+            # about the design and must not become its cached verdict.
+            transient = isinstance(exc, (BrokenExecutor, MemoryError,
+                                         OSError))
         score = self.objective.score(metrics) if metrics else math.inf
         feasible = bool(metrics) and self.objective.feasible(metrics)
         return Evaluation(x=x, metrics=metrics, score=score,
+                          feasible=feasible, error=error,
+                          transient=transient)
+
+    # ------------------------------------------------------------------
+    # Persistent backend (repro.store)
+    # ------------------------------------------------------------------
+    def _aggregation_fingerprint(self):
+        """What the stored metrics' *aggregation* depends on.
+
+        In typical mode (one unit) the campaign table collapses to the
+        single row for every bound sense, so stored metrics are truly
+        objective-independent and this is ``None``.  In robust mode the
+        stored values are :meth:`Objective.worst_case` aggregates, whose
+        direction (and, for RANGE rows, the lo/hi limits) comes from the
+        objective's spec — so that bound structure must be part of the
+        key, or a re-sensed spec would revive wrongly-aggregated
+        metrics.  Cost weights and penalty mode stay excluded: they
+        never shape the stored values.
+        """
+        from repro.pga.specs import Bound
+
+        if self.robust is None or self.robust.n_units <= 1:
+            return None
+        spec = self.objective.spec
+        if spec is None:
+            return ()
+        return sorted(
+            (limit.metric, limit.bound.name,
+             list(limit.limit) if isinstance(limit.limit, tuple)
+             else float(limit.limit))
+            for limit in spec.limits if limit.bound is not Bound.INFO
+        )
+
+    def _design_key(self, key: tuple) -> str:
+        from repro.store import canonical_hash, design_key, evaluator_fingerprint
+
+        if self._store_context is None:
+            fingerprint = evaluator_fingerprint(
+                space=self.space, tech=self.tech, builder=self.builder,
+                measurements=self.measurements, gain_code=self.gain_code,
+                robust=self.robust,
+            )
+            fingerprint["aggregation"] = self._aggregation_fingerprint()
+            self._store_context = canonical_hash(fingerprint)
+        return design_key(self._store_context, key)
+
+    def _revive(self, q: np.ndarray, payload: dict) -> Evaluation:
+        """Rebuild an :class:`Evaluation` from stored metrics, scoring
+        against the *current* objective (mirrors :meth:`_measure`)."""
+        metrics = {str(k): float(v) for k, v in payload["metrics"].items()}
+        error = payload.get("error")
+        score = self.objective.score(metrics) if metrics else math.inf
+        feasible = bool(metrics) and self.objective.feasible(metrics)
+        return Evaluation(x=q, metrics=metrics, score=score,
                           feasible=feasible, error=error)
+
+    def _persist(self, key: tuple, ev: Evaluation) -> None:
+        self.store.put(self._design_key(key), {
+            "x": [float(v) for v in key],
+            "metrics": {k: float(v) for k, v in ev.metrics.items()},
+            "error": ev.error,
+        }, kind="design-eval", meta={
+            "builder": self.builder,
+            "gain_code": self.gain_code,
+            "n_units": self.units_per_candidate(),
+            "feasible_under_current_objective": ev.feasible,
+        })
 
     # ------------------------------------------------------------------
     def evaluate(self, x: np.ndarray) -> Evaluation:
-        """Score one design vector (quantizes, then consults the cache)."""
+        """Score one design vector: quantize, then consult the in-memory
+        memo, then the persistent store (if any), then simulate."""
         q = self.space.quantize(np.asarray(x, dtype=float))
         key = self.space.key(q)
         hit = self.cache.get(key)
@@ -179,8 +290,21 @@ class CandidateEvaluator:
             self.cache_hits += 1
             return hit
         self.cache_misses += 1
+        if self.store is not None:
+            payload = self.store.get(self._design_key(key))
+            if payload is not None:
+                self.store_hits += 1
+                ev = self._revive(q, payload)
+                self.cache[key] = ev
+                return ev
+            self.store_misses += 1
         ev = self._measure(q)
-        self.cache[key] = ev
+        if not ev.transient:
+            # An infrastructure failure is no verdict on the design:
+            # keep it out of both cache levels so a revisit retries.
+            self.cache[key] = ev
+            if self.store is not None:
+                self._persist(key, ev)
         return ev
 
     def evaluate_population(self, xs: np.ndarray) -> list[Evaluation]:

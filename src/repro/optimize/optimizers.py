@@ -59,6 +59,9 @@ class OptimizationResult:
     cache_hits: int
     cache_misses: int
     feasible_found: bool
+    #: Cumulative evaluator.stats() snapshot at the end of the run —
+    #: includes persistent-store hit counts when a store is attached.
+    evaluator_stats: dict | None = None
 
     @property
     def best_params(self) -> dict[str, float]:
@@ -235,4 +238,6 @@ def optimize(
         cache_hits=evaluator.cache_hits - hits0,
         cache_misses=evaluator.cache_misses - misses0,
         feasible_found=state.best.feasible,
+        evaluator_stats=(evaluator.stats() if hasattr(evaluator, "stats")
+                         else None),
     )

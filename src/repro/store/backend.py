@@ -1,0 +1,350 @@
+"""The on-disk result store: an sqlite index over JSON payload objects.
+
+Layout under the store root::
+
+    <root>/index.db            sqlite: key -> (kind, payload path, meta)
+    <root>/objects/ab/<key>.json
+
+Payloads are content-addressed by the caller-supplied key (see
+:mod:`repro.store.keys`) and written **atomically**: the JSON is staged
+to a unique temporary file in the same directory and ``os.replace``\\ d
+into place, then the index row is committed.  A crash between the two
+steps leaves an orphan payload (cleaned by :meth:`ResultStore.gc`), a
+concurrent reader either sees the complete entry or a miss — never a
+torn file.  Index writes go through sqlite's own locking (30 s busy
+timeout), so any number of processes can share one store root; two
+writers racing on the same key both write the same bytes, because keys
+are content hashes of everything the value depends on.
+
+Floats survive exactly: payload JSON renders them via ``repr`` (the
+shortest round-trip form), so a record read back from the store is
+bit-identical to the one that was written — the foundation of the
+"warm rerun is byte-identical" contract that
+``benchmarks/bench_store.py`` enforces.  Non-finite values are wrapped
+in ``{"$nf": ...}`` tokens to keep every payload strict JSON.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import os
+import pathlib
+import sqlite3
+import time
+
+#: Environment variable naming the default store root for the CLI.
+STORE_ENV = "REPRO_STORE"
+
+_tmp_counter = itertools.count()
+
+
+def default_store_root() -> pathlib.Path:
+    """``$REPRO_STORE`` if set, else ``~/.cache/repro-store``."""
+    root = os.environ.get(STORE_ENV)
+    if root:
+        return pathlib.Path(root).expanduser()
+    return pathlib.Path("~/.cache/repro-store").expanduser()
+
+
+def open_store(root=None) -> "ResultStore":
+    """Open (creating if needed) the store at ``root`` or the default."""
+    return ResultStore(default_store_root() if root is None else root)
+
+
+# ----------------------------------------------------------------------
+# Payload encoding: strict JSON with exact float round-trip
+# ----------------------------------------------------------------------
+def _encode(value):
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {"$nf": "nan"}
+        if math.isinf(value):
+            return {"$nf": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, dict):
+        if "$nf" in value:
+            # "$nf" is the reserved non-finite token key; a record using
+            # it would decode to something else.  No repo-produced record
+            # (metric names, evaluation payloads) can contain it, so
+            # reject loudly rather than corrupt silently.
+            raise ValueError("records may not use the reserved key '$nf'")
+        return {k: _encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    return value
+
+
+_NF = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def _decode(value):
+    if isinstance(value, dict):
+        if set(value) == {"$nf"}:
+            return _NF[value["$nf"]]
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+class ResultStore:
+    """Persistent, concurrency-safe ``key -> record`` store.
+
+    ``record`` is any JSON-encodable structure of dicts/lists/strings/
+    numbers (campaign-unit metric dicts, design evaluations); the one
+    reserved name is the ``"$nf"`` dict key, which the non-finite
+    tokenisation owns (``put`` rejects it).  The
+    sqlite connection is opened lazily and dropped on pickling, so a
+    store object can ride inside structures that cross process
+    boundaries and reconnect on first use.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self._conn: sqlite3.Connection | None = None
+
+    # ------------------------------------------------------------------
+    # Connection / schema
+    # ------------------------------------------------------------------
+    @property
+    def conn(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._conn = sqlite3.connect(str(self.root / "index.db"),
+                                         timeout=30.0)
+            with self._conn:
+                self._conn.execute(
+                    "CREATE TABLE IF NOT EXISTS entries ("
+                    " key TEXT PRIMARY KEY,"
+                    " kind TEXT NOT NULL,"
+                    " path TEXT NOT NULL,"
+                    " nbytes INTEGER NOT NULL,"
+                    " created_at REAL NOT NULL,"
+                    " meta TEXT NOT NULL DEFAULT '{}')"
+                )
+                self._conn.execute(
+                    "CREATE INDEX IF NOT EXISTS entries_kind ON entries(kind)"
+                )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_conn"] = None
+        return state
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def _object_path(self, key: str) -> pathlib.Path:
+        return self.objects / key[:2] / f"{key}.json"
+
+    def _stage_payload(self, key: str, record) -> tuple[str, int]:
+        """Atomically materialise one payload file; returns its
+        root-relative path and byte size."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(_encode(record), allow_nan=False,
+                          separators=(",", ":"))
+        tmp = path.parent / f".{key}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        return str(path.relative_to(self.root)), len(text)
+
+    def put(self, key: str, record, kind: str = "record",
+            meta: dict | None = None) -> None:
+        """Atomically write ``record`` under ``key`` (idempotent)."""
+        self.put_many([(key, record, kind, meta)])
+
+    def put_many(self, items) -> None:
+        """Write many ``(key, record, kind, meta)`` entries with one
+        index transaction.
+
+        Payload files are still written (atomically) one by one, but the
+        N index rows commit together — one journal sync instead of N,
+        which is what keeps the write-back of a large cold campaign from
+        being serialized on per-unit sqlite commits.
+        """
+        rows = []
+        now = time.time()
+        for key, record, kind, meta in items:
+            rel, nbytes = self._stage_payload(key, record)
+            rows.append((key, kind, rel, nbytes, now,
+                         json.dumps(meta or {}, sort_keys=True)))
+        if not rows:
+            return
+        with self.conn as conn:
+            conn.executemany(
+                "INSERT OR REPLACE INTO entries "
+                "(key, kind, path, nbytes, created_at, meta) "
+                "VALUES (?, ?, ?, ?, ?, ?)", rows,
+            )
+
+    def get(self, key: str):
+        """The record under ``key``, or ``None``.  An index row whose
+        payload file has vanished is treated as a miss and dropped."""
+        row = self.conn.execute(
+            "SELECT path FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            text = (self.root / row[0]).read_text()
+        except FileNotFoundError:
+            with self.conn as conn:
+                conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+            return None
+        return _decode(json.loads(text))
+
+    def get_many(self, keys) -> dict:
+        """``{key: record}`` for every present key (one query per 500)."""
+        keys = list(keys)
+        out: dict = {}
+        for i in range(0, len(keys), 500):
+            batch = keys[i:i + 500]
+            marks = ",".join("?" * len(batch))
+            rows = self.conn.execute(
+                f"SELECT key, path FROM entries WHERE key IN ({marks})",
+                batch,
+            ).fetchall()
+            for key, rel in rows:
+                try:
+                    text = (self.root / rel).read_text()
+                except FileNotFoundError:
+                    with self.conn as conn:
+                        conn.execute("DELETE FROM entries WHERE key = ?",
+                                     (key,))
+                    continue
+                out[key] = _decode(json.loads(text))
+        return out
+
+    def contains(self, key: str) -> bool:
+        row = self.conn.execute(
+            "SELECT 1 FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return int(self.conn.execute(
+            "SELECT COUNT(*) FROM entries").fetchone()[0])
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def entries(self, kind: str | None = None):
+        """Yield ``(key, kind, nbytes, created_at, meta)`` rows, newest
+        first."""
+        sql = ("SELECT key, kind, nbytes, created_at, meta FROM entries "
+               + ("WHERE kind = ? " if kind else "")
+               + "ORDER BY created_at DESC, key")
+        args = (kind,) if kind else ()
+        for key, k, nbytes, created, meta in self.conn.execute(sql, args):
+            yield key, k, nbytes, created, json.loads(meta)
+
+    def keys(self, kind: str | None = None) -> list[str]:
+        return [key for key, *_ in self.entries(kind)]
+
+    def stat(self) -> dict:
+        """Aggregate counts and bytes, overall and per kind."""
+        kinds: dict[str, dict] = {}
+        for kind, count, nbytes in self.conn.execute(
+            "SELECT kind, COUNT(*), COALESCE(SUM(nbytes), 0) "
+            "FROM entries GROUP BY kind ORDER BY kind"
+        ):
+            kinds[kind] = {"entries": int(count), "bytes": int(nbytes)}
+        return {
+            "root": str(self.root),
+            "entries": sum(k["entries"] for k in kinds.values()),
+            "bytes": sum(k["bytes"] for k in kinds.values()),
+            "kinds": kinds,
+        }
+
+    def gc(self, grace_s: float = 300.0) -> dict:
+        """Restore index/objects consistency.
+
+        Drops index rows whose payload file is gone, deletes payload
+        files (and stale ``.tmp`` staging files) the index does not
+        reference, and prunes empty fan-out directories.  Safe to run
+        concurrently with readers and writers: files younger than
+        ``grace_s`` are left alone — a concurrent ``put`` stages its
+        payload and commits its index row moments apart, and the grace
+        window keeps that in-flight pair out of reach.  Everything
+        older that gc removes is either unreachable or the leftover of
+        an interrupted write.
+        """
+        removed_rows = 0
+        with self.conn as conn:
+            for (key, rel) in conn.execute(
+                "SELECT key, path FROM entries"
+            ).fetchall():
+                if not (self.root / rel).exists():
+                    conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+                    removed_rows += 1
+        # File walk first, index snapshot second: a payload replaced and
+        # committed between the two shows up in `indexed` and is kept.
+        candidates = []
+        now = time.time()
+        for path in sorted(self.objects.rglob("*")):
+            if path.is_dir():
+                continue
+            try:
+                if now - path.stat().st_mtime < grace_s:
+                    continue
+            except FileNotFoundError:
+                continue
+            candidates.append(path)
+        indexed = {rel for (rel,) in self.conn.execute(
+            "SELECT path FROM entries")}
+        removed_files = 0
+        for path in candidates:
+            if str(path.relative_to(self.root)) not in indexed:
+                path.unlink(missing_ok=True)
+                removed_files += 1
+        dir_now = time.time()  # fresh: the unlinks above touched dir mtimes
+        for sub in sorted(self.objects.iterdir()):
+            try:
+                # Same grace rule as for files: a concurrent put mkdirs
+                # its fan-out directory moments before staging into it.
+                if (sub.is_dir() and dir_now - sub.stat().st_mtime >= grace_s
+                        and not any(sub.iterdir())):
+                    sub.rmdir()
+            except OSError:
+                pass  # a writer landed in it between the check and rmdir
+        return {
+            "removed_rows": removed_rows,
+            "removed_files": removed_files,
+            "entries": len(self),
+        }
+
+    def export(self, path, kind: str | None = None) -> int:
+        """Dump entries (optionally one kind) as a single JSON document
+        ``{"entries": [{key, kind, created_at, meta, record}, ...]}``;
+        returns the number exported."""
+        dumped = []
+        for key, k, _nbytes, created, meta in self.entries(kind):
+            record = self.get(key)
+            if record is None:
+                continue
+            dumped.append({"key": key, "kind": k, "created_at": created,
+                           "meta": meta, "record": _encode(record)})
+        payload = {"root": str(self.root), "entries": dumped}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, allow_nan=False)
+            fh.write("\n")
+        return len(dumped)

@@ -114,3 +114,43 @@ class TestExport:
         assert "8 units" in text and "psrr_db" in text
         table = r.format_table(max_rows=3)
         assert "more rows" in table
+
+
+class TestNonFiniteJson:
+    """Regression: failed units emit NaN/±inf metrics; the export must
+    stay strict JSON and re-serialise byte-identically."""
+
+    def non_finite_result(self):
+        spec = CampaignSpec(corners=("tt", "ss"), temps_c=(25.0,))
+        units = spec.expand()
+        records = [{"m": float("nan"), "p": float("inf")},
+                   {"m": float("-inf"), "p": 1.25}]
+        return CampaignResult.from_units(spec, units, records)
+
+    def test_output_is_strict_json(self):
+        import json
+
+        text = self.non_finite_result().to_json()
+        # strict parsers reject NaN/Infinity literals; tokens must be used
+        json.loads(text, parse_constant=lambda s: pytest.fail(
+            f"non-strict constant {s} in to_json output"))
+        assert '"Infinity"' in text and '"-Infinity"' in text
+
+    def test_roundtrip_restores_values(self):
+        r = self.non_finite_result()
+        back = CampaignResult.from_json(r.to_json())
+        assert np.isnan(back.metric("m")[0])
+        assert back.metric("m")[1] == -np.inf
+        assert back.metric("p")[0] == np.inf
+        assert back.metric("p")[1] == 1.25
+        assert list(back.column("corner")) == ["tt", "ss"]
+
+    def test_reserialization_byte_identical(self, tmp_path):
+        r = self.non_finite_result()
+        path = tmp_path / "nf.json"
+        r.to_json(path)
+        text = path.read_text()
+        again = tmp_path / "nf2.json"
+        CampaignResult.from_json(path).to_json(again)
+        assert again.read_bytes() == path.read_bytes()
+        assert CampaignResult.from_json(text).to_json() + "\n" == text

@@ -1,0 +1,185 @@
+"""Persistent CandidateEvaluator backend: resume across evaluators and
+processes, stats accounting, objective-independent storage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.optimize import (
+    CandidateEvaluator,
+    mic_amp_design_space,
+    mic_amp_objective,
+    optimize_mic_amp,
+)
+from repro.process import CMOS12
+from repro.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def space():
+    return mic_amp_design_space()
+
+
+def make_evaluator(store, **kwargs):
+    return CandidateEvaluator(mic_amp_design_space(), mic_amp_objective(),
+                              CMOS12, store=store, **kwargs)
+
+
+class TestPersistentBackend:
+    def test_second_evaluator_resumes(self, space, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        x = space.default()
+
+        first = make_evaluator(store)
+        ev1 = first.evaluate(x)
+        assert first.stats()["simulated"] == 1
+        assert first.stats()["store_hits"] == 0
+
+        second = make_evaluator(ResultStore(tmp_path / "s"))
+        ev2 = second.evaluate(x)
+        stats = second.stats()
+        assert stats["simulated"] == 0 and stats["store_hits"] == 1
+        assert ev2.metrics == ev1.metrics
+        assert ev2.score == ev1.score
+        assert ev2.feasible == ev1.feasible
+        np.testing.assert_array_equal(ev2.x, ev1.x)
+
+    def test_memory_memo_beats_store(self, space, tmp_path):
+        evaluator = make_evaluator(ResultStore(tmp_path / "s"))
+        x = space.default()
+        evaluator.evaluate(x)
+        evaluator.evaluate(x)
+        stats = evaluator.stats()
+        assert stats == {
+            "evaluations": 2, "hits": 1, "misses": 1, "hit_rate": 0.5,
+            "store_hits": 0, "store_misses": 1, "simulated": 1,
+        }
+
+    def test_stats_without_store(self, space):
+        evaluator = CandidateEvaluator(space, mic_amp_objective(), CMOS12)
+        evaluator.evaluate(space.default())
+        stats = evaluator.stats()
+        assert stats["store_hits"] == 0 and stats["simulated"] == 1
+
+    def test_failed_candidate_persisted(self, space, tmp_path):
+        """Infeasible-region failures (empty metrics + error string) are
+        cached too: re-probing a dead corner costs a read, not a solve."""
+        store = ResultStore(tmp_path / "s")
+        bad = space.default()
+        # drive the budget split far past 1: the sizing walk must reject it
+        bad[0], bad[4] = 0.7, 0.4
+        first = make_evaluator(store)
+        ev1 = first.evaluate(bad)
+        assert ev1.error is not None and ev1.metrics == {}
+        assert math.isinf(ev1.score)
+
+        second = make_evaluator(ResultStore(tmp_path / "s"))
+        ev2 = second.evaluate(bad)
+        assert second.stats()["store_hits"] == 1
+        assert ev2.error == ev1.error and ev2.metrics == {}
+        assert math.isinf(ev2.score) and not ev2.feasible
+
+    def test_transient_failure_not_persisted(self, space, tmp_path,
+                                             monkeypatch):
+        """Infrastructure failures (broken pool, OS errors) must not
+        become a design's permanent stored verdict."""
+        import repro.optimize.evaluate as evaluate_mod
+
+        store = ResultStore(tmp_path / "s")
+        x = space.default()
+
+        def broken(*args, **kwargs):
+            raise OSError("worker died")
+
+        flaky = make_evaluator(store)
+        monkeypatch.setattr(evaluate_mod, "run_campaign", broken)
+        ev = flaky.evaluate(x)
+        assert ev.error is not None and ev.transient
+        assert len(store) == 0                     # nothing persisted
+        monkeypatch.undo()
+
+        retry = make_evaluator(ResultStore(tmp_path / "s"))
+        ev2 = retry.evaluate(x)
+        assert ev2.error is None and ev2.metrics   # simulated for real
+        assert retry.stats()["simulated"] == 1
+
+    def test_score_recomputed_under_new_objective(self, space, tmp_path):
+        """The store holds raw metrics; a re-weighted objective re-scores
+        them without invalidating the cached simulation."""
+        store = ResultStore(tmp_path / "s")
+        x = space.default()
+        ev1 = make_evaluator(store).evaluate(x)
+
+        heavy = mic_amp_objective(mode="penalty")
+        resumed = CandidateEvaluator(space, heavy, CMOS12,
+                                     store=ResultStore(tmp_path / "s"))
+        ev2 = resumed.evaluate(x)
+        assert resumed.stats()["store_hits"] == 1
+        assert ev2.metrics == ev1.metrics
+        assert ev2.score == heavy.score(ev1.metrics)
+
+    def test_robust_aggregation_joins_key(self, space, tmp_path):
+        """Robust-mode stored metrics are worst-case aggregates shaped by
+        the spec's bound directions; re-sensing a bound must miss rather
+        than revive the wrongly-aggregated value."""
+        from repro.optimize import RobustSettings
+        from repro.optimize.objective import Objective
+        from repro.pga.specs import Bound, Spec, SpecLimit
+
+        root = tmp_path / "s"
+        rb = RobustSettings(corners=("tt", "ss"))
+        x = space.default()
+
+        def evaluator(bound, limit):
+            obj = Objective(spec=Spec("t", (SpecLimit("iq_ma", bound,
+                                                      limit, "mA"),)),
+                            minimize=(("iq_ma", 1.0),))
+            return CandidateEvaluator(mic_amp_design_space(), obj, CMOS12,
+                                      measurements=("iq_ma",), robust=rb,
+                                      store=ResultStore(root))
+
+        ev_max = evaluator(Bound.MAX, 3.0).evaluate(x)
+        resensed = evaluator(Bound.MIN, 1.0)
+        ev_min = resensed.evaluate(x)
+        assert resensed.stats()["store_hits"] == 0    # new key, re-simulated
+        # max-over-corners and min-over-corners genuinely differ
+        assert ev_max.metrics["iq_ma"] > ev_min.metrics["iq_ma"]
+
+    def test_context_partitions_store(self, space, tmp_path):
+        """A different evaluator context (gain code here) must not see
+        the other context's entries."""
+        root = tmp_path / "s"
+        make_evaluator(ResultStore(root)).evaluate(space.default())
+        other = make_evaluator(ResultStore(root), gain_code=3)
+        other.evaluate(space.default())
+        assert other.stats()["store_hits"] == 0
+        assert len(ResultStore(root)) == 2
+
+
+class TestOptimizerResume:
+    def test_full_run_resumes_byte_identical(self, tmp_path):
+        root = tmp_path / "s"
+        r1 = optimize_mic_amp(budget=12, seed=3, store=ResultStore(root))
+        assert r1.evaluator_stats["simulated"] > 0
+
+        r2 = optimize_mic_amp(budget=12, seed=3, store=ResultStore(root))
+        assert r2.evaluator_stats["simulated"] == 0
+        assert r2.best.score == r1.best.score
+        np.testing.assert_array_equal(r2.best.x, r1.best.x)
+        assert r2.pareto.to_json() == r1.pareto.to_json()
+
+        # and matches a store-less run of the same seed exactly
+        r3 = optimize_mic_amp(budget=12, seed=3)
+        assert r3.pareto.to_json() == r1.pareto.to_json()
+        assert r3.best.score == r1.best.score
+
+    def test_extended_budget_reuses_prefix(self, tmp_path):
+        """A longer search over the same seed replays the shared
+        warm-start + LHS prefix of its candidate stream from the store
+        (the stages diverge later when the budget split shifts)."""
+        root = tmp_path / "s"
+        optimize_mic_amp(budget=10, seed=3, store=ResultStore(root))
+        r2 = optimize_mic_amp(budget=14, seed=3, store=ResultStore(root))
+        assert r2.evaluator_stats["store_hits"] >= 4
+        assert r2.evaluator_stats["simulated"] < 14

@@ -99,3 +99,59 @@ class TestCommands:
         assert "--robust" in capsys.readouterr().err
         assert main(["optimize", "--trials", "2", "--budget", "4"]) == 2
         assert "--robust" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    def _campaign(self, root, json_path=None):
+        args = ["campaign", "--builder", "bias", "--corners", "tt",
+                "--temps", "25,85", "--measure", "bias_current_ua",
+                "--store", str(root)]
+        if json_path is not None:
+            args += ["--json", str(json_path)]
+        return main(args)
+
+    def test_campaign_store_warm_rerun(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert self._campaign(root, tmp_path / "a.json") == 0
+        assert "0 reused, 2 executed" in capsys.readouterr().out
+        assert self._campaign(root, tmp_path / "b.json") == 0
+        assert "2 reused, 0 executed" in capsys.readouterr().out
+        assert (tmp_path / "a.json").read_bytes() == \
+            (tmp_path / "b.json").read_bytes()
+
+    def test_store_ls_stat_gc_export(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        self._campaign(root)
+        capsys.readouterr()
+
+        assert main(["store", "ls", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign-unit" in out and "bias" in out
+
+        assert main(["store", "stat", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+
+        assert main(["store", "gc", "--store", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries remain" in out
+
+        dump = tmp_path / "dump.json"
+        assert main(["store", "export", str(dump), "--store", str(root)]) == 0
+        assert "2 entries" in capsys.readouterr().out
+        assert dump.exists()
+
+    def test_store_ls_empty(self, tmp_path, capsys):
+        assert main(["store", "ls", "--store", str(tmp_path / "empty")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_optimize_verbose_store_stats(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        args = ["optimize", "--budget", "6", "--seed", "11", "--no-progress",
+                "--verbose", "--store", str(root)]
+        main(args)
+        out = capsys.readouterr().out
+        assert "evaluator cache:" in out and "store hits 0" in out
+        main(args)
+        out = capsys.readouterr().out
+        assert "simulated 0" in out

@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Closed-loop client benchmark for the characterization service.
+
+Starts a live ``repro.serve`` HTTP server (fresh store, in-process
+worker pool) and drives it with a **multi-threaded closed-loop client**:
+each client thread submits a request, polls the job to completion,
+fetches the result document and immediately issues its next request.
+Three phases measure the three serving regimes:
+
+* ``cold``      — N distinct campaign requests against an empty store:
+  every unit executes through the engine (plus HTTP + queue + write-back
+  overhead — the price of the service wrapper is *in* this number);
+* ``warm``      — the same N requests again: every campaign is fully
+  cached, answered straight from the store at submit time without
+  touching the engine or the worker pool;
+* ``coalesced`` — K threads simultaneously submit one *new* identical
+  request: the units execute exactly once (asserted via the service's
+  execution counters) and every thread receives the shared result.
+
+Before any timing is reported, the cold-phase result documents are
+checked **byte-identical** to direct ``run_campaign`` runs of the same
+specs.  Full mode requires warm requests-per-second >= **10x** cold and
+merges a ``serve`` entry (plus ``serve_trajectory``) into
+``BENCH_perf.json`` without disturbing other benchmarks' keys;
+``--smoke`` shrinks everything for CI and asserts correctness only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import shutil
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def _payloads(smoke: bool) -> list[dict]:
+    """N distinct campaign requests (distinct seed axes -> distinct
+    fingerprints and distinct units)."""
+    if smoke:
+        return [{"builder": "bias", "corners": ["tt"],
+                 "temps_c": [25.0, 85.0],
+                 "measurements": ["bias_current_ua"],
+                 "seeds": [seed]} for seed in range(3)]
+    return [{"builder": "micamp", "corners": ["tt", "ss"],
+             "temps_c": [-20.0, 25.0, 85.0],
+             "seeds": [4 * i, 4 * i + 1, 4 * i + 2, 4 * i + 3],
+             "measurements": ["offset_v", "iq_ma", "gain_1khz_db"]}
+            for i in range(8)]
+
+
+def _closed_loop(client_cls, base_url: str, payloads: list[dict],
+                 n_threads: int) -> float:
+    """Run every payload through submit+wait+fetch across ``n_threads``
+    closed-loop clients; returns the wall time."""
+    index = {"next": 0}
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def loop():
+        client = client_cls(base_url)
+        while True:
+            with lock:
+                i = index["next"]
+                if i >= len(payloads):
+                    return
+                index["next"] = i + 1
+            try:
+                view = client.run("campaign", payloads[i], timeout=600)
+                assert view["state"] == "done", view
+                client.result_bytes(view["id"])
+            except BaseException as exc:  # noqa: BLE001 — surface below
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=loop) for _ in range(n_threads)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return wall
+
+
+def run_bench(smoke: bool) -> dict:
+    from repro.campaign import run_campaign
+    from repro.serve import CharacterizationService, ServeClient, serve_background
+    from repro.serve.validate import campaign_spec_from_dict
+    from repro.store import ResultStore
+
+    payloads = _payloads(smoke)
+    specs = [campaign_spec_from_dict(p) for p in payloads]
+    units_per_request = specs[0].n_units
+    n_threads = 2 if smoke else 4
+    print(f"[bench_serve] {len(payloads)} requests x {units_per_request} "
+          f"units, {n_threads} client threads")
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    service = None
+    server = None
+    try:
+        store = ResultStore(workdir / "store")
+        service = CharacterizationService(store=store, workers=2).start()
+        server, _thread = serve_background(service)
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        ServeClient(base_url).wait_until_up()
+
+        # --- cold: every unit executes through the engine ---
+        t_cold = _closed_loop(ServeClient, base_url, payloads, n_threads)
+        cold_rps = len(payloads) / t_cold
+        assert service.metrics.get("units_executed") == \
+            units_per_request * len(payloads)
+        print(f"  cold  {len(payloads)} requests in {t_cold:.3f}s "
+              f"({cold_rps:.1f} req/s)")
+
+        # Byte-identity gate before any speed claims: the served
+        # documents must be the exact direct-run bytes.
+        client = ServeClient(base_url)
+        by_fp = {job["fingerprint"]: job for job in client.jobs()}
+        checked = 0
+        for payload, spec in zip(payloads[:3], specs[:3]):
+            from repro.store.keys import campaign_key
+
+            job = by_fp[campaign_key(spec)]
+            served = client.result_bytes(job["id"]).decode("utf-8")
+            direct = run_campaign(spec).to_json() + "\n"
+            assert served == direct, "served result != direct run_campaign"
+            checked += 1
+        print(f"  byte-identity: {checked} served documents == direct runs")
+
+        # --- warm: same requests, store answers, engine untouched ---
+        executed_before = service.metrics.get("units_executed")
+        t_warm = float("inf")
+        for _ in range(1 if smoke else 3):
+            t_warm = min(t_warm, _closed_loop(ServeClient, base_url,
+                                              payloads, n_threads))
+        warm_rps = len(payloads) / t_warm
+        assert service.metrics.get("units_executed") == executed_before, \
+            "warm phase executed units — store keys are unstable"
+        assert service.metrics.get("warm_hits") >= len(payloads)
+        print(f"  warm  {len(payloads)} requests in {t_warm:.3f}s "
+              f"({warm_rps:.1f} req/s, {warm_rps / cold_rps:.1f}x cold)")
+
+        # --- coalesced: K simultaneous submissions of one new spec ---
+        fresh = {"builder": payloads[0]["builder"],
+                 "corners": ["tt"], "temps_c": [25.0],
+                 "seeds": [1001, 1002],
+                 "measurements": payloads[0]["measurements"]}
+        fresh_units = campaign_spec_from_dict(fresh).n_units
+        k = 4 if smoke else 8
+        barrier = threading.Barrier(k)
+        views = [None] * k
+
+        def coalesced_submit(i):
+            c = ServeClient(base_url)
+            barrier.wait()
+            view = c.submit("campaign", fresh)
+            if view["state"] not in ("done", "failed"):
+                view = c.wait(view["id"], timeout=600)
+            c.result_bytes(view["id"])
+            views[i] = view
+
+        executed_before = service.metrics.get("units_executed")
+        threads = [threading.Thread(target=coalesced_submit, args=(i,))
+                   for i in range(k)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        t_coal = time.perf_counter() - t0
+        coal_rps = k / t_coal
+        executed = service.metrics.get("units_executed") - executed_before
+        assert executed == fresh_units, \
+            f"coalesced phase executed {executed} units, want {fresh_units}"
+        assert all(v is not None and v["state"] == "done" for v in views)
+        print(f"  coalesced  {k} simultaneous requests in {t_coal:.3f}s "
+              f"({coal_rps:.1f} req/s, shared units executed exactly once)")
+
+        counters = service.metrics.snapshot()
+    finally:
+        if server is not None:
+            server.shutdown()
+        if service is not None:
+            service.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "n_requests": len(payloads),
+        "units_per_request": units_per_request,
+        "client_threads": n_threads,
+        "cold_s": t_cold,
+        "warm_s": t_warm,
+        "coalesced_s": t_coal,
+        "cold_rps": cold_rps,
+        "warm_rps": warm_rps,
+        "coalesced_rps": coal_rps,
+        "warm_speedup_vs_cold": warm_rps / cold_rps,
+        "byte_identical": True,
+        "exactly_once": True,
+        "counters": counters,
+    }
+
+
+def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
+    """Merge into the trajectory file without clobbering other benches."""
+    payload: dict = {}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["serve"] = {
+        "smoke": smoke,
+        "platform": platform.platform(),
+        **results,
+    }
+    payload.setdefault("serve_trajectory", []).append({
+        "cold_rps": results["cold_rps"],
+        "warm_rps": results["warm_rps"],
+        "coalesced_rps": results["coalesced_rps"],
+        "warm_speedup_vs_cold": results["warm_speedup_vs_cold"],
+        "smoke": smoke,
+    })
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI; correctness only, "
+                             "no speedup floor")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help=f"output JSON (default: {DEFAULT_OUT} in full "
+                             "mode, bench_serve_smoke.json in smoke mode)")
+    args = parser.parse_args(argv)
+
+    results = run_bench(args.smoke)
+
+    out = args.out or (pathlib.Path("bench_serve_smoke.json") if args.smoke
+                       else DEFAULT_OUT)
+    _merge_out(out, results, args.smoke)
+    print(f"[bench_serve] wrote {out}")
+
+    if args.smoke:
+        return 0
+    if results["warm_speedup_vs_cold"] < 10.0:
+        print("FAIL: warm serving below the 10x floor over cold "
+              f"({results['warm_speedup_vs_cold']:.2f}x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -114,13 +114,19 @@ def run_chunk(spec: CampaignSpec, units: list[WorkUnit]) -> list[dict[str, float
 
 
 def _execute_units(spec: CampaignSpec, units: list[WorkUnit], executor,
-                   chunk_size: int | None) -> list[dict[str, float]]:
+                   chunk_size: int | None,
+                   progress=None) -> list[dict[str, float]]:
     """Run ``units`` through ``executor`` in contiguous chunks.
 
     Handles the edge cases uniformly for every executor: an empty unit
     list produces zero chunks (no pool is spun up, no worker message
     sent) and a ``chunk_size`` larger than the unit count degenerates to
     a single chunk.
+
+    ``progress`` is an optional ``(units_done, units_total)`` callback
+    invoked after each collected chunk — the hook long-lived front ends
+    (the serve layer's job status endpoint) use to report per-unit
+    progress without touching any record.
     """
     size = executor.default_chunk_size(spec) if chunk_size is None else chunk_size
     if size < 1:
@@ -131,11 +137,14 @@ def _execute_units(spec: CampaignSpec, units: list[WorkUnit], executor,
     records: list[dict[str, float]] = []
     for chunk_records in executor.map_chunks(spec, chunks):
         records.extend(chunk_records)
+        if progress is not None:
+            progress(len(records), len(units))
     return records
 
 
 def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = None,
-                 store=None, units: list[WorkUnit] | None = None):
+                 store=None, units: list[WorkUnit] | None = None,
+                 progress=None):
     """Expand, execute and collect a campaign into a ``CampaignResult``.
 
     ``executor`` defaults to :class:`~repro.campaign.executors.SerialExecutor`;
@@ -156,6 +165,13 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
     expansion (the result then covers exactly those units, in the given
     order).  An empty subset is legal and yields a well-formed
     zero-row result.
+
+    ``progress`` is an optional ``(units_done, units_total)`` callback.
+    Store-backed runs count reused units as done up front (the first
+    call reports the warm coverage), then advance chunk by chunk over
+    the missing units; plain runs advance chunk by chunk from zero.
+    The callback observes execution only — results are identical with
+    or without it.
     """
     from repro.campaign.executors import SerialExecutor
     from repro.campaign.result import CampaignResult
@@ -165,7 +181,7 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
     units = spec.expand() if units is None else list(units)
 
     if store is None:
-        records = _execute_units(spec, units, executor, chunk_size)
+        records = _execute_units(spec, units, executor, chunk_size, progress)
         return CampaignResult.from_units(spec, units, records)
 
     from repro.store import UnitKeyer
@@ -174,7 +190,13 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
     keys = [keyer.key(unit) for unit in units]
     cached = store.get_many(keys)
     missing = [(u, k) for u, k in zip(units, keys) if k not in cached]
-    fresh = _execute_units(spec, [u for u, _ in missing], executor, chunk_size)
+    reused = len(units) - len(missing)
+    inner = None
+    if progress is not None:
+        progress(reused, len(units))
+        inner = lambda done, _total: progress(reused + done, len(units))
+    fresh = _execute_units(spec, [u for u, _ in missing], executor, chunk_size,
+                           inner)
     fresh_by_key = {}
     entries = []
     for (unit, key), record in zip(missing, fresh):
@@ -192,7 +214,7 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
     records = [cached[k] if k in cached else fresh_by_key[k] for k in keys]
     result = CampaignResult.from_units(spec, units, records)
     result.store_stats = {
-        "reused_units": len(units) - len(missing),
+        "reused_units": reused,
         "executed_units": len(missing),
         "store_root": str(store.root),
     }

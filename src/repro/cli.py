@@ -9,10 +9,15 @@ Gives the reproduction a bench-style front door:
 * ``opamp``                   — the modulator opamp's figures of merit;
 * ``campaign``                — declarative PVT x mismatch x gain-code
   characterization sweeps through :mod:`repro.campaign`, with optional
-  parallel execution, CSV/JSON export and ``--store``-backed
-  incremental reruns;
+  parallel execution, CSV/JSON export, ``--store``-backed incremental
+  reruns and ``--spec FILE`` request files (the serve-layer schema);
 * ``store ls|stat|gc|export`` — inspect and maintain a persistent
   result store (:mod:`repro.store`);
+* ``serve``                   — run the characterization service
+  (:mod:`repro.serve`): HTTP/JSON job submission, request coalescing,
+  store-backed warm hits;
+* ``client``                  — submit/poll/fetch against a running
+  ``repro serve`` endpoint;
 * ``export <block> <file>``   — write a block's SPICE deck for
   cross-checking with an external simulator.
 """
@@ -128,27 +133,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     from repro.process import CORNERS
 
-    corners = (tuple(CORNERS) if args.corners.lower() == "all"
-               else _parse_axis(args.corners, str))
-    try:
-        if args.seeds is not None:
-            seeds = _parse_axis(args.seeds, int, _NONE_WORDS)
-        elif args.trials > 0:
-            seeds = tuple(range(args.trials))
-        else:
-            seeds = (None,)
-        spec = CampaignSpec(
-            builder=args.builder,
-            corners=corners,
-            temps_c=_parse_axis(args.temps, float),
-            supplies=_parse_axis(args.supplies, float, _NONE_WORDS),
-            seeds=seeds,
-            gain_codes=_parse_axis(args.codes, int, _NONE_WORDS),
-            measurements=_parse_axis(args.measure, str),
-        )
-    except (KeyError, ValueError, TypeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    if args.spec is not None:
+        # Shared schema with the serve layer: any malformed file —
+        # invalid JSON, unknown keys, bad axes — is a single error line
+        # and exit 2, exactly like POST /v1/campaigns answers 400.
+        from repro.serve.validate import SpecValidationError, load_request_file
+
+        try:
+            spec = load_request_file(args.spec, "campaign")
+        except SpecValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        corners = (tuple(CORNERS) if args.corners.lower() == "all"
+                   else _parse_axis(args.corners, str))
+        try:
+            if args.seeds is not None:
+                seeds = _parse_axis(args.seeds, int, _NONE_WORDS)
+            elif args.trials > 0:
+                seeds = tuple(range(args.trials))
+            else:
+                seeds = (None,)
+            spec = CampaignSpec(
+                builder=args.builder,
+                corners=corners,
+                temps_c=_parse_axis(args.temps, float),
+                supplies=_parse_axis(args.supplies, float, _NONE_WORDS),
+                seeds=seeds,
+                gain_codes=_parse_axis(args.codes, int, _NONE_WORDS),
+                measurements=_parse_axis(args.measure, str),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.workers > 1:
         executor = ProcessPoolCampaignExecutor(max_workers=args.workers)
     else:
@@ -201,26 +218,40 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     from repro.optimize import RobustSettings, optimize_mic_amp
     from repro.pga.specs import MIC_AMP_SPEC
 
-    robust = None
-    grid_given = (args.corners is not None or args.temps is not None
-                  or args.trials is not None)
-    if grid_given and not args.robust:
-        print("error: --corners/--temps/--trials define the robust "
-              "evaluation grid; pass --robust to use them",
-              file=sys.stderr)
-        return 2
-    if args.robust:
+    if args.spec is not None:
+        # Same request schema and validator as POST /v1/optimize.
+        from repro.serve.validate import SpecValidationError, load_request_file
+
         try:
-            trials = args.trials or 0
-            seeds = (None,) if trials == 0 else (None,) + tuple(range(trials))
-            robust = RobustSettings(
-                corners=_parse_axis(args.corners or "tt,ss,ff", str),
-                temps_c=_parse_axis(args.temps or "25", float),
-                seeds=seeds,
-            )
-        except (KeyError, ValueError, TypeError) as exc:
+            request = load_request_file(args.spec, "optimize")
+        except SpecValidationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        budget, seed = request["budget"], request["seed"]
+        mode, robust = request["mode"], request["robust"]
+    else:
+        robust = None
+        grid_given = (args.corners is not None or args.temps is not None
+                      or args.trials is not None)
+        if grid_given and not args.robust:
+            print("error: --corners/--temps/--trials define the robust "
+                  "evaluation grid; pass --robust to use them",
+                  file=sys.stderr)
+            return 2
+        if args.robust:
+            try:
+                trials = args.trials or 0
+                seeds = (None,) if trials == 0 else (None,) + tuple(range(trials))
+                robust = RobustSettings(
+                    corners=_parse_axis(args.corners or "tt,ss,ff", str),
+                    temps_c=_parse_axis(args.temps or "25", float),
+                    seeds=seeds,
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        budget = 60 if args.quick else args.budget
+        seed, mode = args.seed, args.mode
     executor = (ProcessPoolCampaignExecutor(max_workers=args.workers)
                 if args.workers > 1 else None)
     store = None
@@ -229,13 +260,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
         store = ResultStore(args.store)
 
-    budget = 60 if args.quick else args.budget
     grid = robust.n_units if robust else 1
     print(f"optimize: mic amp vs Table 1, budget {budget} evaluations "
-          f"x {grid} unit(s) each, mode={args.mode}, seed={args.seed}")
+          f"x {grid} unit(s) each, mode={mode}, seed={seed}")
     t0 = time.perf_counter()
     result = optimize_mic_amp(
-        budget=budget, seed=args.seed, mode=args.mode,
+        budget=budget, seed=seed, mode=mode,
         robust=robust, executor=executor, store=store,
         log=(None if args.no_progress else print),
     )
@@ -309,6 +339,102 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"wrote {args.output} ({n} entries)")
         return 0
     raise AssertionError(f"unhandled store command {args.store_cmd!r}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import CharacterizationService, make_server
+    from repro.store import open_store
+
+    store = None if args.no_store else open_store(args.store)
+    service = CharacterizationService(store=store, workers=args.workers,
+                                      pool_workers=args.pool_workers,
+                                      journal_dir=args.journal,
+                                      max_jobs=args.max_jobs)
+    server = make_server(args.host, args.port, service, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"(store: {'disabled' if store is None else store.root}, "
+          f"{args.workers} worker(s), pool={args.pool_workers})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", flush=True)
+    finally:
+        server.shutdown()
+        service.stop()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        if args.client_cmd == "submit":
+            with open(args.spec) as fh:
+                try:
+                    payload = _json.load(fh)
+                except _json.JSONDecodeError as exc:
+                    print(f"error: spec file {args.spec} is not valid "
+                          f"JSON: {exc}", file=sys.stderr)
+                    return 2
+            view = client.submit(args.kind, payload)
+            tag = " (warm store hit)" if view["warm"] else (
+                " (coalesced)" if view["attached"] else "")
+            print(f"job {view['id']} state {view['state']}{tag}")
+            if args.wait and view["state"] not in ("done", "failed"):
+                view = client.wait(view["id"], timeout=args.timeout)
+                print(f"job {view['id']} state {view['state']}")
+            if view["state"] == "failed":
+                print(f"error: {view['error']}", file=sys.stderr)
+                return 1
+            if args.json is not None:
+                if view["state"] != "done":
+                    print("error: result not ready (pass --wait)",
+                          file=sys.stderr)
+                    return 1
+                body = client.result_bytes(view["id"])
+                with open(args.json, "wb") as fh:
+                    fh.write(body)
+                print(f"wrote {args.json}")
+            return 0
+        if args.client_cmd == "status":
+            view = client.job(args.job)
+            print(_json.dumps(view, indent=2))
+            return 0 if view["state"] != "failed" else 1
+        if args.client_cmd == "wait":
+            view = client.wait(args.job, timeout=args.timeout)
+            print(f"job {view['id']} state {view['state']}")
+            if view["state"] == "failed":
+                print(f"error: {view['error']}", file=sys.stderr)
+            return 0 if view["state"] == "done" else 1
+        if args.client_cmd == "result":
+            if args.offset is not None or args.limit is not None:
+                page = client.result_page(args.job, args.offset or 0,
+                                          args.limit or 100)
+                text = _json.dumps(page, indent=2) + "\n"
+            else:
+                text = client.result_bytes(args.job).decode("utf-8")
+            if args.json is not None:
+                with open(args.json, "w") as fh:
+                    fh.write(text)
+                print(f"wrote {args.json}")
+            else:
+                sys.stdout.write(text)
+            return 0
+        if args.client_cmd == "metrics":
+            print(_json.dumps(client.metrics(), indent=2))
+            return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled client command {args.client_cmd!r}")
 
 
 _BLOCKS = ("micamp", "powerbuffer", "bandgap", "bias", "opamp")
@@ -412,6 +538,9 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--store", default=None, metavar="ROOT",
                     help="persistent result store root: reuse cached units, "
                          "execute only missing ones (byte-identical merge)")
+    pc.add_argument("--spec", default=None, metavar="FILE",
+                    help="campaign request JSON file (serve-layer schema; "
+                         "overrides the axis flags)")
     pc.set_defaults(func=_cmd_campaign)
 
     po2 = sub.add_parser(
@@ -456,6 +585,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "measured candidates across runs/processes")
     po2.add_argument("--verbose", action="store_true",
                      help="print evaluator cache statistics (memo + store)")
+    po2.add_argument("--spec", default=None, metavar="FILE",
+                     help="optimize request JSON file (serve-layer schema; "
+                          "overrides --budget/--seed/--mode/--robust)")
     po2.set_defaults(func=_cmd_optimize)
 
     pst = sub.add_parser(
@@ -481,6 +613,71 @@ def build_parser() -> argparse.ArgumentParser:
                         help="store root (default: $REPRO_STORE or "
                              "~/.cache/repro-store)")
         sp.set_defaults(func=_cmd_store)
+
+    psv = sub.add_parser(
+        "serve",
+        help="run the characterization service (HTTP/JSON API)",
+        description="Serve campaigns and sizing searches over HTTP: job "
+                    "queue + worker pool, request coalescing of identical "
+                    "in-flight submissions, and store-backed warm hits "
+                    "that never touch the engine.",
+    )
+    psv.add_argument("--host", default="127.0.0.1")
+    psv.add_argument("--port", type=int, default=8765,
+                     help="listen port (0 = pick a free one; default: 8765)")
+    psv.add_argument("--workers", type=int, default=2,
+                     help="service worker threads (default: 2)")
+    psv.add_argument("--pool-workers", type=int, default=1,
+                     help="campaign process-pool size per job (1 = serial)")
+    psv.add_argument("--store", default=None, metavar="ROOT",
+                     help="result store root (default: $REPRO_STORE or "
+                          "~/.cache/repro-store)")
+    psv.add_argument("--no-store", action="store_true",
+                     help="serve without a store (no warm hits)")
+    psv.add_argument("--journal", default=None, metavar="DIR",
+                     help="job journal directory (jobs survive restarts)")
+    psv.add_argument("--max-jobs", type=int, default=1024,
+                     help="retained job cap; oldest finished jobs are "
+                          "evicted past it (default: 1024)")
+    psv.add_argument("--verbose", action="store_true",
+                     help="log every HTTP request")
+    psv.set_defaults(func=_cmd_serve)
+
+    pcl = sub.add_parser(
+        "client",
+        help="talk to a running `repro serve` endpoint",
+        description="Submit request files, poll job status and fetch "
+                    "results from a characterization service.",
+    )
+    pclsub = pcl.add_subparsers(dest="client_cmd", required=True)
+    psub = pclsub.add_parser("submit", help="submit a request JSON file")
+    psub.add_argument("spec", help="request JSON file (serve-layer schema)")
+    psub.add_argument("--kind", choices=("campaign", "optimize"),
+                      default="campaign")
+    psub.add_argument("--wait", action="store_true",
+                      help="poll until the job is terminal")
+    psub.add_argument("--json", default=None, metavar="PATH",
+                      help="write the result document (implies --wait "
+                           "completed successfully)")
+    pstat2 = pclsub.add_parser("status", help="print one job's status view")
+    pstat2.add_argument("job")
+    pwait = pclsub.add_parser("wait", help="block until a job is terminal")
+    pwait.add_argument("job")
+    pres = pclsub.add_parser("result", help="fetch a job's result")
+    pres.add_argument("job")
+    pres.add_argument("--offset", type=int, default=None,
+                      help="paginate: first row of the page")
+    pres.add_argument("--limit", type=int, default=None,
+                      help="paginate: rows per page")
+    pres.add_argument("--json", default=None, metavar="PATH",
+                      help="write to a file instead of stdout")
+    pmet = pclsub.add_parser("metrics", help="print service counters")
+    for sp in (psub, pstat2, pwait, pres, pmet):
+        sp.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL (default: %(default)s)")
+        sp.add_argument("--timeout", type=float, default=600.0,
+                        help="wait timeout in seconds (default: 600)")
+        sp.set_defaults(func=_cmd_client)
 
     pe = sub.add_parser("export", help="write a block's SPICE deck")
     pe.add_argument("block", choices=_BLOCKS)

@@ -81,6 +81,18 @@ class RobustSettings:
             raise KeyError(
                 f"unknown corners {unknown}; available: {sorted(CORNERS)}"
             )
+        # Same numeric canonicalisation as CampaignSpec: the grid's
+        # content hash (serve-layer fingerprints, design-eval store
+        # keys) must not depend on whether a temperature arrived as
+        # JSON 25 or CLI-parsed 25.0.
+        object.__setattr__(self, "temps_c",
+                           tuple(float(t) for t in self.temps_c))
+        object.__setattr__(self, "supplies",
+                           tuple(None if s is None else float(s)
+                                 for s in self.supplies))
+        object.__setattr__(self, "seeds",
+                           tuple(None if s is None else int(s)
+                                 for s in self.seeds))
 
     @property
     def n_units(self) -> int:

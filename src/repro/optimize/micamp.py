@@ -41,6 +41,7 @@ def optimize_mic_amp(
     warm_start: bool = True,
     log: Callable[[str], None] | None = None,
     store=None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> OptimizationResult:
     """Search the Sec. 3.2 sizing space for a spec-compliant minimum
     current/area design.  ``robust`` switches the evaluation from the
@@ -48,11 +49,12 @@ def optimize_mic_amp(
     ``executor`` is any campaign executor (results are identical);
     ``store`` (a :class:`repro.store.ResultStore`) persists every
     measured candidate so repeated or extended searches resume across
-    processes."""
+    processes; ``progress`` receives ``(evaluations_done, budget)``
+    per evaluation (the serve layer's job-status hook)."""
     space = space or mic_amp_design_space()
     evaluator = CandidateEvaluator(space, mic_amp_objective(spec, mode),
                                    tech, robust=robust, executor=executor,
                                    store=store)
     seeds = (space.default(),) if warm_start else ()
     return optimize(space, evaluator, budget=budget, seed=seed,
-                    seed_points=seeds, log=log)
+                    seed_points=seeds, log=log, progress=progress)

@@ -99,6 +99,7 @@ class _SearchState:
     best: Evaluation | None = None
     history: list[tuple[int, float]] = field(default_factory=list)
     log: Callable[[str], None] | None = None
+    progress: Callable[[int, int], None] | None = None
 
     def exhausted(self) -> bool:
         return self.calls >= self.budget
@@ -107,6 +108,8 @@ class _SearchState:
         """One budgeted evaluation of a unit-cube candidate."""
         ev = self.evaluator.evaluate(self.space.from_unit(u))
         self.calls += 1
+        if self.progress is not None:
+            self.progress(self.calls, self.budget)
         self.front.add(ev.metrics, self.space.as_dict(ev.x), ev.feasible)
         if self.best is None or ev.score < self.best.score:
             self.best = ev
@@ -141,6 +144,7 @@ def optimize(
     seed_points: Sequence[np.ndarray] = (),
     pareto_objectives: Sequence[str] = DEFAULT_OBJECTIVES,
     log: Callable[[str], None] | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> OptimizationResult:
     """Search a design space for the best-scoring candidate.
 
@@ -149,6 +153,12 @@ def optimize(
     grid cells).  ``seed_points`` are physical vectors injected into the
     initial population — pass ``space.default()`` to warm-start from the
     paper's design point.
+
+    ``log`` receives a line per best-score improvement; ``progress``
+    receives ``(evaluations_done, budget)`` after *every* budgeted
+    evaluation (cache hits included) — the hook job-wrapped runs (the
+    serve layer) use to report live search progress.  Neither affects
+    the search trajectory.
     """
     if budget < 2:
         raise ValueError(f"budget must be >= 2, got {budget}")
@@ -161,7 +171,8 @@ def optimize(
 
     hits0, misses0 = evaluator.cache_hits, evaluator.cache_misses
     state = _SearchState(evaluator=evaluator, space=space, budget=budget,
-                         front=ParetoFront(pareto_objectives), log=log)
+                         front=ParetoFront(pareto_objectives), log=log,
+                         progress=progress)
 
     # --- stage 1: Latin-hypercube population (+ warm starts) ---
     pop_u = latin_hypercube(n, d, rng)

@@ -1,0 +1,213 @@
+"""The HTTP/JSON front door: stdlib ``ThreadingHTTPServer``, no deps.
+
+Routes (all JSON in, JSON out)::
+
+    POST /v1/campaigns          submit a campaign request       -> 202/200
+    POST /v1/optimize           submit an optimize request      -> 202
+    GET  /v1/jobs               list jobs, newest first         -> 200
+    GET  /v1/jobs/<id>          one job's status view           -> 200
+    GET  /v1/jobs/<id>/result   the result document             -> 200
+         ?offset=N&limit=M      one page of campaign rows       -> 200
+    GET  /v1/metrics            service counters + queue depth  -> 200
+    GET  /healthz               liveness                        -> 200
+
+Submissions answer ``202 Accepted`` while the job is queued/running and
+``200`` when it is already terminal at submit time (a warm store hit —
+coalescing only ever matches *in-flight* jobs).  A result poll
+on an unfinished job answers ``202`` with the status view, a failed job
+``500`` with its error, schema violations ``400`` with a one-line
+message, unknown jobs and routes ``404`` — a client can drive the whole
+lifecycle on status codes alone.
+
+The unpaginated campaign result body is the exact
+``CampaignResult.to_json()`` text (plus trailing newline): byte for
+byte what ``repro campaign --json`` writes for the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve import jobs as J
+from repro.serve.service import CharacterizationService
+from repro.serve.validate import SpecValidationError
+
+#: Request bodies above this size are rejected with 413.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> CharacterizationService:
+        return self.server.service
+
+    def log_message(self, fmt, *args):  # noqa: D102 — quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def _send(self, code: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code: int, payload) -> None:
+        self._send(code, (json.dumps(payload) + "\n").encode("utf-8"))
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _body_length(self) -> int:
+        """Content-Length as an int; a garbage header is a 400, not a
+        traceback, and poisons the (HTTP/1.1 persistent) connection so
+        the undrainable body cannot desync the stream."""
+        try:
+            return int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            self.close_connection = True
+            raise SpecValidationError(
+                f"invalid Content-Length header: "
+                f"{self.headers.get('Content-Length')!r}") from exc
+
+    def _discard_body(self) -> None:
+        """Drain an unwanted request body before an error response —
+        on a keep-alive connection, unread body bytes would be parsed
+        as the next request line.  Undrainable bodies (oversize, bad
+        length) close the connection instead."""
+        try:
+            length = self._body_length()
+        except SpecValidationError:
+            return                      # close_connection already set
+        if 0 < length <= MAX_BODY_BYTES:
+            self.rfile.read(length)
+        elif length > MAX_BODY_BYTES:
+            self.close_connection = True
+
+    def _read_json(self):
+        length = self._body_length()
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True    # not draining this
+            raise SpecValidationError(
+                f"request body too large ({length} bytes; "
+                f"limit {MAX_BODY_BYTES})")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise SpecValidationError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise SpecValidationError(f"invalid JSON body: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        self.service.metrics.incr("http_requests")
+        path = urlsplit(self.path).path.rstrip("/")
+        kind = {"/v1/campaigns": "campaign", "/v1/optimize": "optimize"}.get(path)
+        if kind is None:
+            self.service.metrics.incr("http_errors")
+            self._discard_body()
+            return self._error(404, f"no such route: POST {path}")
+        try:
+            payload = self._read_json()
+            job = self.service.submit(kind, payload)
+        except SpecValidationError as exc:
+            self.service.metrics.incr("http_errors")
+            return self._error(400, str(exc))
+        view = job.view()
+        self._send_json(200 if job.terminal else 202, view)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self.service.metrics.incr("http_requests")
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/")
+        if path == "/healthz":
+            return self._send_json(200, self.service.health())
+        if path == "/v1/metrics":
+            return self._send_json(200, self.service.metrics_snapshot())
+        if path == "/v1/jobs":
+            return self._send_json(
+                200, {"jobs": [j.view() for j in self.service.queue.jobs()]})
+        parts = path.split("/")
+        if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "jobs":
+            job = self.service.queue.get(parts[3])
+            if job is None:
+                self.service.metrics.incr("http_errors")
+                return self._error(404, f"no such job: {parts[3]}")
+            if len(parts) == 4:
+                return self._send_json(200, job.view())
+            if len(parts) == 5 and parts[4] == "result":
+                return self._result(job, parse_qs(split.query))
+        self.service.metrics.incr("http_errors")
+        self._error(404, f"no such route: GET {path}")
+
+    def _result(self, job: J.Job, query: dict) -> None:
+        if job.state == J.FAILED:
+            self.service.metrics.incr("http_errors")
+            return self._error(500, job.error or "job failed")
+        if not job.terminal:
+            return self._send_json(202, job.view())
+        try:
+            if "offset" in query or "limit" in query:
+                offset = int(query.get("offset", ["0"])[0])
+                limit = int(query.get("limit", ["100"])[0])
+                return self._send_json(
+                    200, self.service.result_page(job, offset, limit))
+            text = self.service.result_text(job)
+        except (SpecValidationError, ValueError) as exc:
+            self.service.metrics.incr("http_errors")
+            return self._error(400, str(exc))
+        except LookupError as exc:
+            self.service.metrics.incr("http_errors")
+            return self._error(410, str(exc))
+        self._send(200, text.encode("utf-8"))
+
+
+class ServeServer(ThreadingHTTPServer):
+    """One HTTP server bound to one service (thread-per-connection —
+    polling is I/O-bound; the heavy lifting stays on the service's own
+    worker pool)."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int],
+                 service: CharacterizationService,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ServeHandler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0,
+                service: CharacterizationService | None = None,
+                verbose: bool = False) -> ServeServer:
+    """Bind (``port=0`` picks a free port) and start the service's
+    workers; the caller owns ``serve_forever`` — inline for a CLI
+    process, on a thread for tests and benchmarks."""
+    service = service or CharacterizationService()
+    service.start()
+    return ServeServer((host, port), service, verbose=verbose)
+
+
+def serve_background(service: CharacterizationService,
+                     host: str = "127.0.0.1",
+                     port: int = 0) -> tuple[ServeServer, threading.Thread]:
+    """Spin the server on a daemon thread; returns ``(server, thread)``.
+    ``server.server_address`` carries the bound port."""
+    server = make_server(host, port, service)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="serve-http", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,150 @@
+"""A tiny stdlib client for the serve API (``urllib``, no deps).
+
+:class:`ServeClient` speaks the whole job lifecycle — submit, poll,
+fetch — and is what ``repro client`` and ``benchmarks/bench_serve.py``
+drive.  Errors come back as :class:`ServeError` carrying the HTTP
+status and the server's one-line message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure, with the server's one-line explanation."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """One service endpoint, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None) -> tuple[int, bytes]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers,
+                                     method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = json.loads(body).get("error", body.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = body.decode(errors="replace")
+            raise ServeError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {url}: {exc.reason}") from exc
+
+    def _get_json(self, path: str) -> dict:
+        _status, body = self._request("GET", path)
+        return json.loads(body)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._get_json("/healthz")
+
+    def metrics(self) -> dict:
+        return self._get_json("/v1/metrics")
+
+    def jobs(self) -> list[dict]:
+        return self._get_json("/v1/jobs")["jobs"]
+
+    def submit(self, kind: str, payload: dict) -> dict:
+        """Submit one request; returns the job's status view (already
+        terminal for warm hits)."""
+        route = {"campaign": "/v1/campaigns", "optimize": "/v1/optimize"}
+        if kind not in route:
+            raise ValueError(f"kind must be campaign or optimize, got {kind!r}")
+        _status, body = self._request("POST", route[kind], payload)
+        return json.loads(body)
+
+    def job(self, job_id: str) -> dict:
+        return self._get_json(f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             interval: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns the final view.
+
+        The poll interval backs off geometrically to ~1 s so long jobs
+        do not hammer the server while short ones finish in one or two
+        round trips.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in ("done", "failed"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['state']} after {timeout}s")
+            time.sleep(interval)
+            interval = min(interval * 1.5, 1.0)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The full result document, verbatim (for campaigns: the exact
+        ``repro campaign --json`` bytes).
+
+        A 202 (job still queued/running) is an error here, not a
+        result — otherwise a premature fetch would silently hand back
+        the status view as if it were the document.  Wait first.
+        """
+        status, body = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            state = "unknown"
+            try:
+                state = json.loads(body).get("state", state)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                pass
+            raise ServeError(status,
+                             f"job {job_id} has no result yet "
+                             f"(state {state}); wait for it first")
+        return body
+
+    def result_page(self, job_id: str, offset: int = 0,
+                    limit: int = 100) -> dict:
+        return self._get_json(
+            f"/v1/jobs/{job_id}/result?offset={offset}&limit={limit}")
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def run(self, kind: str, payload: dict, timeout: float = 600.0) -> dict:
+        """Submit + wait in one call; returns the terminal job view."""
+        view = self.submit(kind, payload)
+        if view["state"] in ("done", "failed"):
+            return view
+        return self.wait(view["id"], timeout=timeout)
+
+    def wait_until_up(self, timeout: float = 10.0,
+                      interval: float = 0.1) -> dict:
+        """Block until ``/healthz`` answers (server start-up races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServeError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)

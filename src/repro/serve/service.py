@@ -1,0 +1,374 @@
+"""The characterization service: queue + workers + store, one object.
+
+:class:`CharacterizationService` is the engine behind the HTTP API (and
+directly usable in-process, which is how the tests pin its semantics):
+
+* **submit** — a validated request becomes a :class:`~repro.serve.jobs.Job`.
+  Campaign requests are fingerprinted with
+  :func:`repro.store.keys.campaign_key`; optimize requests with a
+  canonical hash of their normalised parameters.
+* **warm hits** — before a campaign job ever queues, the store is probed
+  with one batched :meth:`~repro.store.ResultStore.contains_many` call;
+  if *every* unit of the expansion is cached, the result is merged
+  inline from the store (``run_campaign`` with zero missing units — the
+  engine, the executor and the worker pool are never touched) and the
+  job is born ``done``.
+* **coalescing** — identical in-flight requests attach to one execution
+  (see :class:`~repro.serve.jobs.JobQueue.submit`); with a store
+  attached, the shared units of *sequential* duplicates are never
+  re-executed either, so across any interleaving each unit is executed
+  exactly once.
+* **workers** — a small thread pool drains the queue; each campaign job
+  runs through :func:`repro.campaign.run_campaign` (optionally on a
+  :class:`~repro.campaign.executors.ProcessPoolCampaignExecutor` for
+  multi-core hosts) with a per-unit progress callback feeding the job's
+  status view, and each optimize job wraps
+  :func:`repro.optimize.optimize_mic_amp` the same way.
+
+Served campaign results are **byte-identical** to a direct
+``run_campaign`` of the same spec: the store merge preserves bytes
+(PR 4's contract) and the result document is the plain
+``CampaignResult.to_json()`` text.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+from repro.serve import jobs as J
+from repro.serve.validate import (
+    SpecValidationError,
+    campaign_spec_from_dict,
+    optimize_request_from_dict,
+)
+
+
+class ServiceMetrics:
+    """Monotonic named counters behind one lock (`GET /v1/metrics`)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+
+    def incr(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+
+class CharacterizationService:
+    """Long-lived front end over campaign + optimize + store.
+
+    ``store`` (a :class:`repro.store.ResultStore` or ``None``) enables
+    warm hits and cross-restart result recovery; ``workers`` sizes the
+    in-process worker *thread* pool (each runs one job at a time);
+    ``pool_workers > 1`` gives every campaign job a
+    :class:`ProcessPoolCampaignExecutor` of that size, otherwise jobs
+    run on the serial executor (results are byte-identical either way —
+    the campaign contract).  ``journal_dir`` persists job metadata
+    across restarts.  ``max_jobs`` caps *retention*: past it, the
+    oldest terminal jobs (and their in-memory results) are evicted —
+    an evicted campaign answers a fresh submission as a store warm hit,
+    so nothing is lost but the job id.
+    """
+
+    def __init__(self, store=None, workers: int = 2, pool_workers: int = 1,
+                 journal_dir=None, max_jobs: int = 1024) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.pool_workers = pool_workers
+        self.queue = J.JobQueue(journal_dir=journal_dir, max_jobs=max_jobs)
+        self.metrics = ServiceMetrics()
+        self._threads: list[threading.Thread] = []
+        self._n_workers = workers
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CharacterizationService":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self._n_workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"serve-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.queue.close()
+        for t in self._threads:
+            t.join(timeout)
+        self._threads = []
+        self._started = False
+
+    def __enter__(self) -> "CharacterizationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, payload) -> J.Job:
+        """Validate and admit one request; returns its (possibly shared,
+        possibly already-done) job.  Raises :class:`SpecValidationError`
+        on a malformed payload."""
+        if kind == "campaign":
+            return self.submit_campaign(payload)
+        if kind == "optimize":
+            return self.submit_optimize(payload)
+        raise SpecValidationError(f"unknown request kind {kind!r}; "
+                                  "one of ['campaign', 'optimize']")
+
+    def submit_campaign(self, payload) -> J.Job:
+        from repro.store.keys import campaign_key
+
+        spec = campaign_spec_from_dict(payload)
+        fingerprint = campaign_key(spec)
+        self.metrics.incr("submitted_campaign")
+
+        warm_job = self._try_warm(spec, payload, fingerprint)
+        if warm_job is not None:
+            return warm_job
+
+        job = J.Job(id=J.new_job_id(), kind="campaign",
+                    payload=payload if isinstance(payload, dict) else {},
+                    fingerprint=fingerprint)
+        job, coalesced = self.queue.submit(job)
+        if coalesced:
+            self.metrics.incr("coalesced")
+        return job
+
+    def submit_optimize(self, payload) -> J.Job:
+        from repro.store.keys import canonical_hash, canonical_payload
+
+        kwargs = optimize_request_from_dict(payload)
+        fingerprint = canonical_hash({
+            "kind": "optimize",
+            "budget": kwargs["budget"],
+            "seed": kwargs["seed"],
+            "mode": kwargs["mode"],
+            "robust": canonical_payload(kwargs["robust"])
+            if kwargs["robust"] is not None else None,
+        })
+        self.metrics.incr("submitted_optimize")
+        job = J.Job(id=J.new_job_id(), kind="optimize",
+                    payload=payload if isinstance(payload, dict) else {},
+                    fingerprint=fingerprint)
+        job, coalesced = self.queue.submit(job)
+        if coalesced:
+            self.metrics.incr("coalesced")
+        return job
+
+    def _try_warm(self, spec, payload, fingerprint) -> J.Job | None:
+        """Answer a fully-cached campaign inline, skipping the queue.
+
+        The probe is one batched index query (no payload reads); only a
+        complete hit takes the warm path.  The subsequent merge re-reads
+        through ``get_many`` — if a file vanished between probe and
+        merge (a racing gc), ``run_campaign`` transparently re-executes
+        just those units inline, which is still correct, merely less
+        warm than advertised.
+        """
+        if self.store is None:
+            return None
+        from repro.campaign import run_campaign
+        from repro.store import UnitKeyer
+
+        units = spec.expand()
+        keyer = UnitKeyer(spec)
+        keys = [keyer.key(unit) for unit in units]
+        present = self.store.contains_many(keys)
+        if len(present) < len(keys):
+            return None
+        result = run_campaign(spec, store=self.store)
+        job = J.Job(id=J.new_job_id(), kind="campaign",
+                    payload=payload if isinstance(payload, dict) else {},
+                    fingerprint=fingerprint, state=J.DONE, warm=True,
+                    result=result)
+        job.finished_at = job.created_at
+        job.progress = {"units_done": len(units), "units_total": len(units)}
+        self.queue.register(job)
+        self.metrics.incr("warm_hits")
+        self.metrics.incr("units_reused",
+                          result.store_stats["reused_units"])
+        self.metrics.incr("units_executed",
+                          result.store_stats["executed_units"])
+        self.metrics.incr("jobs_done")
+        return job
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _campaign_executor(self):
+        if self.pool_workers > 1:
+            from repro.campaign import ProcessPoolCampaignExecutor
+
+            return ProcessPoolCampaignExecutor(max_workers=self.pool_workers)
+        from repro.campaign import SerialExecutor
+
+        return SerialExecutor()
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.next_job()
+            if job is None:
+                return
+            try:
+                self._run_job(job)
+            except SpecValidationError as exc:
+                self.metrics.incr("jobs_failed")
+                self.queue.finish(job, J.FAILED, error=str(exc))
+            except Exception as exc:  # job isolation: one bad request
+                self.metrics.incr("jobs_failed")  # must not kill a worker
+                traceback.print_exc()
+                self.queue.finish(job, J.FAILED,
+                                  error=f"{type(exc).__name__}: {exc}")
+
+    def _run_job(self, job: J.Job) -> None:
+        if job.kind == "campaign":
+            self._run_campaign_job(job)
+        elif job.kind == "optimize":
+            self._run_optimize_job(job)
+        else:
+            raise SpecValidationError(f"unknown job kind {job.kind!r}")
+        self.metrics.incr("jobs_done")
+        self.queue.finish(job, J.DONE)
+
+    def _run_campaign_job(self, job: J.Job) -> None:
+        from repro.campaign import run_campaign
+
+        spec = campaign_spec_from_dict(job.payload)
+
+        def progress(done: int, total: int) -> None:
+            job.progress = {"units_done": done, "units_total": total}
+
+        result = run_campaign(spec, executor=self._campaign_executor(),
+                              store=self.store, progress=progress)
+        job.result = result
+        if result.store_stats is not None:
+            self.metrics.incr("units_executed",
+                              result.store_stats["executed_units"])
+            self.metrics.incr("units_reused",
+                              result.store_stats["reused_units"])
+        else:
+            self.metrics.incr("units_executed", len(result))
+
+    def _run_optimize_job(self, job: J.Job) -> None:
+        from repro.optimize import optimize_mic_amp
+
+        kwargs = optimize_request_from_dict(job.payload)
+
+        def progress(done: int, budget: int) -> None:
+            job.progress = {"evaluations_done": done, "budget": budget}
+
+        result = optimize_mic_amp(
+            budget=kwargs["budget"], seed=kwargs["seed"],
+            mode=kwargs["mode"], robust=kwargs["robust"],
+            executor=(self._campaign_executor()
+                      if self.pool_workers > 1 else None),
+            store=self.store, progress=progress,
+        )
+        job.result = result
+        self.metrics.incr("optimize_evaluations", result.n_evaluations)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def campaign_result(self, job: J.Job):
+        """The job's ``CampaignResult``, reconstructed from the store if
+        this process never ran it (journal-restored jobs)."""
+        if job.result is None:
+            if self.store is None:
+                raise LookupError(
+                    f"job {job.id}: result not in memory and no store "
+                    "attached to recover it from")
+            from repro.campaign import run_campaign
+
+            spec = campaign_spec_from_dict(job.payload)
+            job.result = run_campaign(spec, store=self.store)
+        return job.result
+
+    def result_text(self, job: J.Job) -> str:
+        """The full result document: for campaigns, the byte-identical
+        ``CampaignResult.to_json()`` text (plus trailing newline — the
+        exact bytes ``repro campaign --json`` writes)."""
+        import json as _json
+
+        if job.kind == "campaign":
+            return self.campaign_result(job).to_json() + "\n"
+        return _json.dumps(self._optimize_payload(job), indent=2) + "\n"
+
+    def result_page(self, job: J.Job, offset: int, limit: int) -> dict:
+        """One page of a campaign result's rows (``offset``/``limit``
+        half-open slice in unit order), with the page window echoed."""
+        if job.kind != "campaign":
+            raise SpecValidationError(
+                "pagination applies to campaign results only")
+        if offset < 0 or limit < 1:
+            raise SpecValidationError(
+                f"need offset >= 0 and limit >= 1, got {offset}/{limit}")
+        result = self.campaign_result(job)
+        sl = slice(offset, offset + limit)
+        return {
+            "total": len(result),
+            "offset": offset,
+            "limit": limit,
+            "metrics": list(result.metrics),
+            "columns": {
+                name: [result._json_value(v)
+                       for v in result.data[name][sl].tolist()]
+                for name in result.columns
+            },
+        }
+
+    def _optimize_payload(self, job: J.Job) -> dict:
+        import json as _json
+
+        result = job.result
+        if result is None:
+            raise LookupError(
+                f"job {job.id}: optimize results are not recoverable "
+                "after a restart; re-submit (the evaluation store makes "
+                "the rerun warm)")
+        return {
+            "summary": result.summary(),
+            "best_params": result.best_params,
+            "best_metrics": dict(result.best.metrics),
+            "best_score": result.best.score,
+            "feasible": result.best.feasible,
+            "n_evaluations": result.n_evaluations,
+            "pareto": _json.loads(result.pareto.to_json()),
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "workers": self._n_workers,
+            "queue_depth": self.queue.depth(),
+            "jobs": len(self.queue),
+            "store": None if self.store is None else str(self.store.root),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        return {
+            "counters": self.metrics.snapshot(),
+            "queue_depth": self.queue.depth(),
+            "jobs": len(self.queue),
+        }

@@ -1,0 +1,189 @@
+"""Shared request validation: one schema, every front door.
+
+The serve layer's ``POST /v1/campaigns`` / ``POST /v1/optimize`` bodies
+and the CLI's ``--spec FILE`` option describe the same two things — a
+:class:`~repro.campaign.spec.CampaignSpec` and an
+:func:`~repro.optimize.micamp.optimize_mic_amp` call — so they share
+one validator.  Every failure is reported as a
+:class:`SpecValidationError` whose message is a *single line* fit for
+an HTTP 400 body or a ``error: ...`` CLI line; no traceback ever
+reaches a client.
+
+Campaign request schema (JSON object; every key optional)::
+
+    {"builder": "micamp",
+     "corners": ["tt", "ss"],          // or "all"
+     "temps_c": [-20.0, 25.0, 85.0],
+     "supplies": [null, 3.0],          // null = technology nominal
+     "seeds": [null, 0, 1],            // null = nominal devices
+     "gain_codes": [null, 5],          // null = builder default
+     "measurements": ["offset_v", "iq_ma"],
+     "builder_kwargs": {"i_in_ua": 320.0}}
+
+Optimize request schema (JSON object; every key optional)::
+
+    {"budget": 60, "seed": 2026, "mode": "feasibility",
+     "robust": {"corners": ["tt", "ss"], "temps_c": [25.0],
+                "supplies": [null], "seeds": [null, 0]}}   // or null
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.campaign.spec import CampaignSpec
+
+
+class SpecValidationError(ValueError):
+    """A malformed request payload, with a one-line human message."""
+
+
+def _one_line(message: str) -> str:
+    return re.sub(r"\s+", " ", str(message)).strip()
+
+
+def _fail(message: str) -> "SpecValidationError":
+    return SpecValidationError(_one_line(message))
+
+
+def _require_object(payload, what: str) -> dict:
+    if not isinstance(payload, dict):
+        raise _fail(f"{what} must be a JSON object, "
+                    f"got {type(payload).__name__}")
+    return payload
+
+
+def _check_keys(payload: dict, allowed: tuple[str, ...], what: str) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise _fail(f"unknown {what} key(s) {unknown}; "
+                    f"allowed: {sorted(allowed)}")
+
+
+def _axis_list(payload: dict, key: str):
+    """An axis value must arrive as a JSON array (never a bare scalar or
+    string — silent scalar-to-axis promotion hides typos)."""
+    value = payload[key]
+    if not isinstance(value, list):
+        raise _fail(f"campaign key {key!r} must be an array, "
+                    f"got {type(value).__name__}")
+    return value
+
+
+_CAMPAIGN_KEYS = ("builder", "corners", "temps_c", "supplies", "seeds",
+                  "gain_codes", "measurements", "builder_kwargs")
+
+
+def campaign_spec_from_dict(payload) -> CampaignSpec:
+    """Validate a campaign request object into a :class:`CampaignSpec`.
+
+    ``"all"`` is accepted for ``corners`` (every registered corner, in
+    registry order), matching the CLI flag.  Anything the spec's own
+    constructor rejects — unknown corners, builders, measurements, empty
+    axes, non-numeric entries — surfaces as a one-line
+    :class:`SpecValidationError`, never a traceback.
+    """
+    payload = _require_object(payload, "campaign request")
+    _check_keys(payload, _CAMPAIGN_KEYS, "campaign request")
+    kwargs: dict = {}
+    if "builder" in payload:
+        if not isinstance(payload["builder"], str):
+            raise _fail("campaign key 'builder' must be a string")
+        kwargs["builder"] = payload["builder"]
+    if "corners" in payload:
+        if payload["corners"] == "all":
+            from repro.process.corners import CORNERS
+
+            kwargs["corners"] = tuple(CORNERS)
+        else:
+            kwargs["corners"] = _axis_list(payload, "corners")
+    for key in ("temps_c", "supplies", "seeds", "gain_codes", "measurements"):
+        if key in payload:
+            kwargs[key] = _axis_list(payload, key)
+    if "builder_kwargs" in payload:
+        bk = payload["builder_kwargs"]
+        if not isinstance(bk, dict):
+            raise _fail("campaign key 'builder_kwargs' must be an object")
+        kwargs["builder_kwargs"] = bk
+    try:
+        return CampaignSpec(**kwargs)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise _fail(str(exc)) from exc
+
+
+_OPTIMIZE_KEYS = ("budget", "seed", "mode", "robust")
+_ROBUST_KEYS = ("corners", "temps_c", "supplies", "seeds")
+
+
+def optimize_request_from_dict(payload) -> dict:
+    """Validate an optimize request into ``optimize_mic_amp`` kwargs:
+    ``{"budget", "seed", "mode", "robust"}`` with ``robust`` already a
+    :class:`~repro.optimize.evaluate.RobustSettings` (or ``None``)."""
+    payload = _require_object(payload, "optimize request")
+    _check_keys(payload, _OPTIMIZE_KEYS, "optimize request")
+    out = {"budget": 150, "seed": 2026, "mode": "feasibility", "robust": None}
+    for key in ("budget", "seed"):
+        if key in payload:
+            value = payload[key]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise _fail(f"optimize key {key!r} must be an integer")
+            out[key] = value
+    if out["budget"] < 2:
+        raise _fail(f"optimize budget must be >= 2, got {out['budget']}")
+    if "mode" in payload:
+        mode = payload["mode"]
+        if mode not in ("feasibility", "penalty"):
+            raise _fail(f"optimize mode must be 'feasibility' or 'penalty', "
+                        f"got {mode!r}")
+        out["mode"] = mode
+    if payload.get("robust") is not None:
+        robust = _require_object(payload["robust"], "optimize key 'robust'")
+        _check_keys(robust, _ROBUST_KEYS, "robust")
+        from repro.optimize.evaluate import RobustSettings
+
+        rkwargs = {}
+        for key in _ROBUST_KEYS:
+            if key in robust:
+                if not isinstance(robust[key], list):
+                    raise _fail(f"robust key {key!r} must be an array")
+                rkwargs[key] = tuple(robust[key])
+        try:
+            out["robust"] = RobustSettings(**rkwargs)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise _fail(str(exc)) from exc
+    return out
+
+
+#: Request kinds the serve layer accepts, mapped to their validators.
+VALIDATORS = {
+    "campaign": campaign_spec_from_dict,
+    "optimize": optimize_request_from_dict,
+}
+
+
+def parse_request(kind: str, payload):
+    """Dispatch ``payload`` to the validator for ``kind``."""
+    try:
+        validator = VALIDATORS[kind]
+    except KeyError:
+        raise _fail(f"unknown request kind {kind!r}; "
+                    f"one of {sorted(VALIDATORS)}") from None
+    return validator(payload)
+
+
+def load_request_file(path, kind: str):
+    """Read and validate a ``--spec`` JSON file for the CLI front doors.
+
+    Malformed JSON, a missing file and a schema violation all raise the
+    same one-line :class:`SpecValidationError` — the CLI prints it as a
+    single ``error:`` line and exits 2, never a traceback.
+    """
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise _fail(f"cannot read spec file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise _fail(f"spec file {path} is not valid JSON: {exc}") from exc
+    return parse_request(kind, payload)

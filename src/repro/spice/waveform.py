@@ -83,11 +83,21 @@ class Waveform:
         return self.t[idx] + frac * self.dt
 
     def settling_time(self, final: float, tol: float) -> float:
-        """Time after which |y - final| stays within ``tol`` [s]."""
+        """Time after which |y - final| stays within ``tol`` [s].
+
+        Degenerate records are distinguished rather than folded into one
+        misleading number: ``nan`` if the waveform *never* enters the
+        tolerance band (there is no settling to speak of — the record
+        does not reach the target at all), ``inf`` if it enters the band
+        but is back outside at the final sample (not yet settled within
+        the record).
+        """
         err = np.abs(self.y - final)
         outside = np.where(err > tol)[0]
         if outside.size == 0:
             return 0.0
+        if outside.size == len(self.y):
+            return float("nan")
         k = outside[-1] + 1
         if k >= len(self.t):
             return float("inf")

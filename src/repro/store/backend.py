@@ -32,6 +32,7 @@ import math
 import os
 import pathlib
 import sqlite3
+import threading
 import time
 
 #: Environment variable naming the default store root for the CLI.
@@ -95,28 +96,32 @@ class ResultStore:
     ``record`` is any JSON-encodable structure of dicts/lists/strings/
     numbers (campaign-unit metric dicts, design evaluations); the one
     reserved name is the ``"$nf"`` dict key, which the non-finite
-    tokenisation owns (``put`` rejects it).  The
-    sqlite connection is opened lazily and dropped on pickling, so a
-    store object can ride inside structures that cross process
-    boundaries and reconnect on first use.
+    tokenisation owns (``put`` rejects it).  Connections are opened
+    lazily and held **per thread** (sqlite objects must not cross
+    threads): one store object can be shared by the serve layer's HTTP
+    handler threads and worker pool exactly like it is shared by
+    processes — sqlite's own file locking arbitrates, and the schema
+    bootstrap is idempotent.  Pickling drops the connection state, so a
+    store can ride inside structures that cross process boundaries and
+    reconnect on first use.
     """
 
     def __init__(self, root) -> None:
         self.root = pathlib.Path(root)
         self.objects = self.root / "objects"
         self.objects.mkdir(parents=True, exist_ok=True)
-        self._conn: sqlite3.Connection | None = None
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Connection / schema
     # ------------------------------------------------------------------
     @property
     def conn(self) -> sqlite3.Connection:
-        if self._conn is None:
-            self._conn = sqlite3.connect(str(self.root / "index.db"),
-                                         timeout=30.0)
-            with self._conn:
-                self._conn.execute(
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(str(self.root / "index.db"), timeout=30.0)
+            with conn:
+                conn.execute(
                     "CREATE TABLE IF NOT EXISTS entries ("
                     " key TEXT PRIMARY KEY,"
                     " kind TEXT NOT NULL,"
@@ -125,20 +130,29 @@ class ResultStore:
                     " created_at REAL NOT NULL,"
                     " meta TEXT NOT NULL DEFAULT '{}')"
                 )
-                self._conn.execute(
+                conn.execute(
                     "CREATE INDEX IF NOT EXISTS entries_kind ON entries(kind)"
                 )
-        return self._conn
+            self._local.conn = conn
+        return conn
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """Close the *calling thread's* connection (other threads'
+        connections close when they are garbage-collected — sqlite
+        forbids closing them from here)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
 
     def __getstate__(self):
         state = self.__dict__.copy()
-        state["_conn"] = None
+        state["_local"] = None
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -229,6 +243,28 @@ class ResultStore:
                                      (key,))
                     continue
                 out[key] = _decode(json.loads(text))
+        return out
+
+    def contains_many(self, keys) -> set:
+        """The subset of ``keys`` present in the index, without reading
+        a single payload (one batched ``IN`` query per 500 keys).
+
+        This is the serve layer's warm-hit probe: deciding whether a
+        whole campaign can be answered from the store must not cost N
+        point lookups or N payload reads.  An index row whose payload
+        file has since vanished still counts as present here — the
+        follow-up :meth:`get_many` self-heals such rows into misses and
+        the caller re-executes exactly those units.
+        """
+        keys = list(keys)
+        out: set = set()
+        for i in range(0, len(keys), 500):
+            batch = keys[i:i + 500]
+            marks = ",".join("?" * len(batch))
+            rows = self.conn.execute(
+                f"SELECT key FROM entries WHERE key IN ({marks})", batch,
+            ).fetchall()
+            out.update(key for (key,) in rows)
         return out
 
     def contains(self, key: str) -> bool:

@@ -1,0 +1,182 @@
+"""Job queue semantics: lifecycle, coalescing, journal recovery."""
+
+import threading
+
+import pytest
+
+from repro.serve import jobs as J
+
+
+def make_job(fp="fp-1", kind="campaign", payload=None):
+    return J.Job(id=J.new_job_id(), kind=kind, payload=payload or {},
+                 fingerprint=fp)
+
+
+class TestLifecycle:
+    def test_submit_next_finish(self):
+        q = J.JobQueue()
+        job, coalesced = q.submit(make_job())
+        assert not coalesced and job.state == J.QUEUED
+        assert q.depth() == 1
+
+        picked = q.next_job(timeout=1.0)
+        assert picked is job and picked.state == J.RUNNING
+        assert picked.started_at is not None
+
+        q.finish(job, J.DONE)
+        assert job.state == J.DONE and job.terminal
+        assert job.wait(timeout=1.0)
+        assert q.get(job.id) is job
+
+    def test_failed_state_carries_error(self):
+        q = J.JobQueue()
+        job, _ = q.submit(make_job())
+        q.next_job(timeout=1.0)
+        q.finish(job, J.FAILED, error="boom")
+        assert job.state == J.FAILED and job.error == "boom"
+
+    def test_finish_rejects_non_terminal(self):
+        q = J.JobQueue()
+        job, _ = q.submit(make_job())
+        with pytest.raises(ValueError):
+            q.finish(job, J.RUNNING)
+
+    def test_register_requires_terminal(self):
+        q = J.JobQueue()
+        with pytest.raises(ValueError):
+            q.register(make_job())
+        warm = make_job()
+        warm.state = J.DONE
+        q.register(warm)
+        assert q.get(warm.id) is warm and warm.wait(0)
+        assert q.depth() == 0                  # never pending
+
+    def test_close_unblocks_workers(self):
+        q = J.JobQueue()
+        got = []
+
+        def worker():
+            got.append(q.next_job())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        q.close()
+        t.join(timeout=2.0)
+        assert got == [None]
+        with pytest.raises(RuntimeError, match="closed"):
+            q.submit(make_job())
+
+    def test_jobs_listing_newest_first(self):
+        q = J.JobQueue()
+        a, _ = q.submit(make_job("fp-a"))
+        a.created_at -= 10.0
+        b, _ = q.submit(make_job("fp-b"))
+        assert q.jobs() == [b, a]
+        assert len(q) == 2
+
+
+class TestCoalescing:
+    def test_identical_inflight_attaches(self):
+        q = J.JobQueue()
+        first, c1 = q.submit(make_job("same"))
+        second, c2 = q.submit(make_job("same"))
+        assert not c1 and c2
+        assert second is first and first.attached == 1
+        assert q.depth() == 1                  # one execution queued
+
+    def test_running_job_still_coalesces(self):
+        q = J.JobQueue()
+        first, _ = q.submit(make_job("same"))
+        q.next_job(timeout=1.0)                # now running
+        twin, coalesced = q.submit(make_job("same"))
+        assert coalesced and twin is first
+
+    def test_finished_fingerprint_is_released(self):
+        q = J.JobQueue()
+        first, _ = q.submit(make_job("same"))
+        q.next_job(timeout=1.0)
+        q.finish(first, J.DONE)
+        again, coalesced = q.submit(make_job("same"))
+        assert not coalesced and again is not first
+
+    def test_distinct_fingerprints_never_coalesce(self):
+        q = J.JobQueue()
+        a, _ = q.submit(make_job("fp-a"))
+        b, coalesced = q.submit(make_job("fp-b"))
+        assert not coalesced and b is not a
+
+
+class TestRetentionCap:
+    def _finished(self, q, fp):
+        job, _ = q.submit(make_job(fp))
+        q.next_job(timeout=1.0)
+        q.finish(job, J.DONE)
+        return job
+
+    def test_oldest_terminal_jobs_evicted_past_cap(self):
+        q = J.JobQueue(max_jobs=2)
+        jobs = [self._finished(q, f"fp-{i}") for i in range(3)]
+        a, _ = q.submit(make_job("fp-new"))          # 4th admission
+        assert len(q) == 2
+        assert q.get(jobs[0].id) is None             # oldest two gone
+        assert q.get(jobs[1].id) is None
+        assert q.get(jobs[2].id) is not None
+        assert q.get(a.id) is not None
+
+    def test_inflight_jobs_never_evicted(self):
+        q = J.JobQueue(max_jobs=1)
+        running, _ = q.submit(make_job("fp-r"))
+        q.next_job(timeout=1.0)                      # running
+        queued, _ = q.submit(make_job("fp-q"))
+        assert len(q) == 2                           # cap exceeded, both kept
+        assert q.get(running.id) is not None
+        assert q.get(queued.id) is not None
+
+    def test_eviction_removes_journal_file(self, tmp_path):
+        q = J.JobQueue(journal_dir=tmp_path, max_jobs=1)
+        old = self._finished(q, "fp-old")
+        assert (tmp_path / f"{old.id}.json").exists()
+        self._finished(q, "fp-new")
+        assert not (tmp_path / f"{old.id}.json").exists()
+        # a restarted queue therefore does not resurrect evicted jobs
+        q2 = J.JobQueue(journal_dir=tmp_path, max_jobs=1)
+        assert q2.get(old.id) is None and len(q2) == 1
+
+
+class TestJournal:
+    def test_terminal_jobs_survive_restart(self, tmp_path):
+        q = J.JobQueue(journal_dir=tmp_path)
+        job, _ = q.submit(make_job(payload={"builder": "bias"}))
+        q.next_job(timeout=1.0)
+        q.finish(job, J.DONE)
+
+        q2 = J.JobQueue(journal_dir=tmp_path)
+        restored = q2.get(job.id)
+        assert restored is not None
+        assert restored.state == J.DONE
+        assert restored.payload == {"builder": "bias"}
+        assert restored.wait(0)                # terminal: event pre-set
+        assert q2.depth() == 0
+
+    def test_interrupted_jobs_requeue(self, tmp_path):
+        q = J.JobQueue(journal_dir=tmp_path)
+        queued, _ = q.submit(make_job("fp-q"))
+        running, _ = q.submit(make_job("fp-r"))
+        assert q.next_job(timeout=1.0) is queued   # FIFO: fp-q first
+        # process "dies" here: one running, one queued
+
+        q2 = J.JobQueue(journal_dir=tmp_path)
+        assert q2.depth() == 2                 # both re-admitted
+        states = {j.fingerprint: j.state for j in q2.jobs()}
+        assert states == {"fp-q": J.QUEUED, "fp-r": J.QUEUED}
+        # and the coalescing index is live again
+        _, coalesced = q2.submit(make_job("fp-q"))
+        assert coalesced
+
+    def test_torn_journal_file_is_skipped(self, tmp_path):
+        q = J.JobQueue(journal_dir=tmp_path)
+        job, _ = q.submit(make_job())
+        (tmp_path / "torn.json").write_text('{"id": ')
+        q2 = J.JobQueue(journal_dir=tmp_path)
+        assert q2.get(job.id) is not None
+        assert len(q2) == 1

@@ -1,0 +1,140 @@
+"""The shared request validator: one schema, one-line failures."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.optimize import RobustSettings
+from repro.serve.validate import (
+    SpecValidationError,
+    campaign_spec_from_dict,
+    load_request_file,
+    optimize_request_from_dict,
+    parse_request,
+)
+
+
+class TestCampaignRequests:
+    def test_minimal_request_uses_spec_defaults(self):
+        spec = campaign_spec_from_dict({})
+        assert spec == CampaignSpec()
+
+    def test_full_request_matches_direct_construction(self):
+        payload = {
+            "builder": "micamp",
+            "corners": ["tt", "ss"],
+            "temps_c": [25.0],
+            "supplies": [None, 3.0],
+            "seeds": [None, 0],
+            "gain_codes": [5],
+            "measurements": ["offset_v", "iq_ma"],
+        }
+        spec = campaign_spec_from_dict(payload)
+        assert spec == CampaignSpec(
+            builder="micamp", corners=("tt", "ss"), temps_c=(25.0,),
+            supplies=(None, 3.0), seeds=(None, 0), gain_codes=(5,),
+            measurements=("offset_v", "iq_ma"),
+        )
+
+    def test_corners_all_expands_registry(self):
+        from repro.process.corners import CORNERS
+
+        spec = campaign_spec_from_dict({"corners": "all"})
+        assert spec.corners == tuple(CORNERS)
+
+    def test_builder_kwargs_object(self):
+        spec = campaign_spec_from_dict(
+            {"builder": "micamp_sized", "builder_kwargs": {"i_in_ua": 320.0}})
+        assert ("i_in_ua", 320.0) in spec.builder_kwargs
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ([1, 2], "must be a JSON object"),
+        ({"nope": 1}, "unknown campaign request key(s) ['nope']"),
+        ({"builder": 7}, "'builder' must be a string"),
+        ({"corners": "tt"}, "'corners' must be an array"),
+        ({"corners": ["xx"]}, "unknown corners"),
+        ({"temps_c": []}, "must not be empty"),
+        ({"measurements": ["bogus"]}, "unknown measurements"),
+        ({"builder_kwargs": [1]}, "'builder_kwargs' must be an object"),
+        ({"builder": "nope"}, "unknown builder"),
+    ])
+    def test_failures_are_one_line(self, payload, fragment):
+        with pytest.raises(SpecValidationError) as err:
+            campaign_spec_from_dict(payload)
+        message = str(err.value)
+        assert fragment in message
+        assert "\n" not in message
+
+
+class TestOptimizeRequests:
+    def test_defaults(self):
+        out = optimize_request_from_dict({})
+        assert out == {"budget": 150, "seed": 2026,
+                       "mode": "feasibility", "robust": None}
+
+    def test_json_integer_axes_normalize_to_one_fingerprint(self):
+        """JSON `25` and CLI-parsed `25.0` must hash identically —
+        otherwise identical requests would neither coalesce nor share
+        design-eval store keys."""
+        from repro.store.keys import canonical_payload
+
+        a = optimize_request_from_dict(
+            {"robust": {"temps_c": [25], "supplies": [3]}})["robust"]
+        b = optimize_request_from_dict(
+            {"robust": {"temps_c": [25.0], "supplies": [3.0]}})["robust"]
+        assert a == b
+        assert canonical_payload(a) == canonical_payload(b)
+        assert a.temps_c == (25.0,) and a.supplies == (3.0,)
+
+    def test_robust_grid_parsed(self):
+        out = optimize_request_from_dict({
+            "budget": 10, "seed": 7, "mode": "penalty",
+            "robust": {"corners": ["tt", "ss"], "temps_c": [25.0],
+                       "seeds": [None, 0]},
+        })
+        assert out["budget"] == 10 and out["mode"] == "penalty"
+        assert out["robust"] == RobustSettings(
+            corners=("tt", "ss"), temps_c=(25.0,), seeds=(None, 0))
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ({"budget": "big"}, "'budget' must be an integer"),
+        ({"budget": True}, "'budget' must be an integer"),
+        ({"budget": 1}, "budget must be >= 2"),
+        ({"mode": "nope"}, "mode must be"),
+        ({"extra": 1}, "unknown optimize request key(s)"),
+        ({"robust": {"corners": "tt"}}, "'corners' must be an array"),
+        ({"robust": {"weird": []}}, "unknown robust key(s)"),
+        ({"robust": {"corners": ["zz"]}}, "unknown corners"),
+    ])
+    def test_failures_are_one_line(self, payload, fragment):
+        with pytest.raises(SpecValidationError) as err:
+            optimize_request_from_dict(payload)
+        assert fragment in str(err.value)
+        assert "\n" not in str(err.value)
+
+
+class TestDispatchAndFiles:
+    def test_parse_request_dispatch(self):
+        assert isinstance(parse_request("campaign", {}), CampaignSpec)
+        assert parse_request("optimize", {})["budget"] == 150
+        with pytest.raises(SpecValidationError, match="unknown request kind"):
+            parse_request("table1", {})
+
+    def test_load_request_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"builder": "bias",
+                                    "measurements": ["bias_current_ua"]}))
+        spec = load_request_file(path, "campaign")
+        assert spec.builder == "bias"
+
+    def test_load_request_file_bad_json_is_one_line(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"builder": "bias",')
+        with pytest.raises(SpecValidationError, match="not valid JSON") as err:
+            load_request_file(path, "campaign")
+        assert "\n" not in str(err.value)
+
+    def test_load_request_file_missing(self, tmp_path):
+        with pytest.raises(SpecValidationError, match="cannot read"):
+            load_request_file(tmp_path / "absent.json", "campaign")

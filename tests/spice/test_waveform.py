@@ -58,6 +58,28 @@ class TestCrossingsAndSettling:
         ts = w.settling_time(final=1.0, tol=0.01)
         assert ts == pytest.approx(np.log(100) * 1e-6, rel=0.05)
 
+    def test_settling_time_never_in_band_is_nan(self):
+        """A record that never reaches the tolerance band has no settling
+        time at all — nan, not a misleading inf or duration (regression:
+        the old code conflated this with 'entered but not settled')."""
+        t = np.linspace(0, 1e-6, 100)
+        w = Waveform(t, np.full_like(t, 0.5))      # flat at 0.5, target 1.0
+        assert np.isnan(w.settling_time(final=1.0, tol=0.01))
+
+    def test_settling_time_entered_but_ends_outside_is_inf(self):
+        """Entering the band and leaving again by the final sample means
+        'not yet settled within the record': inf, distinct from nan."""
+        t = np.linspace(0, 1e-6, 100)
+        y = np.zeros_like(t)
+        y[40:60] = 1.0                             # visits the band, leaves
+        w = Waveform(t, y)
+        assert w.settling_time(final=1.0, tol=0.01) == float("inf")
+
+    def test_settling_time_always_in_band_is_zero(self):
+        t = np.linspace(0, 1e-6, 100)
+        w = Waveform(t, np.ones_like(t))
+        assert w.settling_time(final=1.0, tol=0.01) == 0.0
+
 
 class TestFourier:
     def test_fourier_component_amplitude_phase(self):

@@ -108,6 +108,44 @@ class TestMaintenance:
         assert summary["removed_files"] == 0
         assert in_flight.exists()
 
+    def test_gc_grace_window_spares_young_collects_stale(self, store):
+        """The grace window splits orphans by age: an in-flight payload
+        staged moments ago is spared, a stale one from an interrupted
+        write (older than the window) is collected — in one gc pass."""
+        import os
+        import time
+
+        fresh = store.objects / "aa" / "aa_inflight.json"
+        fresh.parent.mkdir(parents=True)
+        fresh.write_text("{}")                     # staged "just now"
+        stale = store.objects / "bb" / "bb_stale.json"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("{}")
+        old = time.time() - 3600.0                 # well past any grace
+        os.utime(stale, times=(old, old))
+
+        summary = store.gc(grace_s=300.0)
+        assert summary["removed_files"] == 1
+        assert fresh.exists() and not stale.exists()
+        # once the window has passed (grace 0), the survivor goes too
+        summary = store.gc(grace_s=0.0)
+        assert summary["removed_files"] == 1
+        assert not fresh.exists()
+
+    def test_gc_grace_spares_indexed_entry_regardless_of_age(self, store):
+        """Age only matters for *unreferenced* files: an indexed payload
+        is kept however old it is."""
+        import os
+        import time
+
+        store.put("old", {"x": 1.0})
+        path = store._object_path("old")
+        old = time.time() - 3600.0
+        os.utime(path, times=(old, old))
+        summary = store.gc(grace_s=0.0)
+        assert summary["removed_files"] == 0
+        assert store.get("old") == {"x": 1.0}
+
     def test_gc_removes_dangling_row(self, store):
         store.put("gone", {"x": 1.0})
         store._object_path("gone").unlink()
@@ -180,3 +218,50 @@ class TestSharing:
         store.put("k", {"v": 1.0})
         clone = pickle.loads(pickle.dumps(store))
         assert clone.get("k") == {"v": 1.0}
+
+    def test_one_handle_shared_across_threads(self, store):
+        """The serve layer shares one store object between HTTP handler
+        threads and its worker pool: connections are per-thread, so
+        cross-thread use must just work."""
+        import threading
+
+        store.put("main", {"v": 1.0})
+        results = {}
+
+        def reader_writer(tag):
+            results[tag] = store.get("main")
+            store.put(tag, {"tag": tag})
+
+        threads = [threading.Thread(target=reader_writer, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(v == {"v": 1.0} for v in results.values())
+        assert len(store) == 5
+
+
+class TestContainsMany:
+    def test_batched_membership(self, store):
+        for i in range(7):
+            store.put(f"k{i}", {"i": float(i)})
+        present = store.contains_many([f"k{i}" for i in range(10)])
+        assert present == {f"k{i}" for i in range(7)}
+        assert store.contains_many([]) == set()
+
+    def test_spans_query_batches(self, store):
+        keys = [f"key-{i:04d}" for i in range(1200)]
+        store.put_many([(k, {"i": float(i)}, "record", None)
+                        for i, k in enumerate(keys)])
+        present = store.contains_many(keys + ["absent"])
+        assert present == set(keys)
+
+    def test_vanished_payload_still_counts_as_present(self, store):
+        """contains_many is an index probe by design: a row whose file
+        was lost answers present here and heals to a miss in get_many —
+        the warm path then re-executes exactly the lost units."""
+        store.put("ghost", {"x": 1.0})
+        store._object_path("ghost").unlink()
+        assert store.contains_many(["ghost"]) == {"ghost"}
+        assert store.get_many(["ghost"]) == {}

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -13,7 +15,10 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for cmd in (["table1"], ["table2", "--quick"], ["noise", "--code", "3"],
-                    ["gains"], ["opamp"], ["export", "micamp", "-"]):
+                    ["gains"], ["opamp"], ["export", "micamp", "-"],
+                    ["serve", "--port", "0"],
+                    ["client", "submit", "spec.json", "--url", "http://x"],
+                    ["client", "metrics"]):
             args = parser.parse_args(cmd)
             assert callable(args.func)
 
@@ -101,6 +106,70 @@ class TestCommands:
         assert "--robust" in capsys.readouterr().err
 
 
+class TestSpecFiles:
+    """`--spec FILE` on campaign/optimize: the serve-layer schema with
+    one-line failures (never a traceback) and exit code 2."""
+
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(payload if isinstance(payload, str)
+                        else json.dumps(payload))
+        return str(path)
+
+    def test_campaign_spec_file_runs(self, tmp_path, capsys):
+        spec = self._write(tmp_path, "spec.json", {
+            "builder": "bias", "corners": ["tt"], "temps_c": [25.0, 85.0],
+            "measurements": ["bias_current_ua"]})
+        assert main(["campaign", "--spec", spec]) == 0
+        out = capsys.readouterr().out
+        assert "2 units" in out and "bias_current_ua" in out
+
+    def test_campaign_spec_file_matches_flags(self, tmp_path, capsys):
+        """The same campaign described by flags and by file must export
+        identical bytes — one schema behind both front doors."""
+        spec = self._write(tmp_path, "spec.json", {
+            "builder": "bias", "corners": ["tt"], "temps_c": [25.0, 85.0],
+            "measurements": ["bias_current_ua"]})
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["campaign", "--spec", spec, "--json", str(a)]) == 0
+        assert main(["campaign", "--builder", "bias", "--corners", "tt",
+                     "--temps", "25,85", "--measure", "bias_current_ua",
+                     "--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_campaign_malformed_json_one_line_exit_2(self, tmp_path, capsys):
+        spec = self._write(tmp_path, "broken.json", '{"builder": "bias",')
+        assert main(["campaign", "--spec", spec]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ") and "not valid JSON" in err
+        assert err.count("\n") == 1            # exactly one line, no traceback
+
+    def test_campaign_schema_error_one_line_exit_2(self, tmp_path, capsys):
+        spec = self._write(tmp_path, "bad.json", {"cornerz": ["tt"]})
+        assert main(["campaign", "--spec", spec]) == 2
+        err = capsys.readouterr().err
+        assert "unknown campaign request key(s)" in err
+        assert err.count("\n") == 1
+
+    def test_optimize_spec_file_errors_exit_2(self, tmp_path, capsys):
+        for name, payload in (("bad_mode.json", {"mode": "nope"}),
+                              ("broken.json", '{"budget":'),
+                              ("bad_robust.json",
+                               {"robust": {"corners": ["zz"]}})):
+            spec = self._write(tmp_path, name, payload)
+            assert main(["optimize", "--spec", spec]) == 2
+            err = capsys.readouterr().err
+            assert err.startswith("error: ") and err.count("\n") == 1
+
+    def test_optimize_spec_file_runs(self, tmp_path, capsys):
+        spec = self._write(tmp_path, "opt.json",
+                           {"budget": 6, "seed": 11, "mode": "penalty"})
+        main(["optimize", "--spec", spec, "--no-progress"])
+        out = capsys.readouterr().out
+        assert "budget 6 evaluations" in out and "seed=11" in out
+
+
 class TestStoreCommands:
     def _campaign(self, root, json_path=None):
         args = ["campaign", "--builder", "bias", "--corners", "tt",
@@ -140,6 +209,28 @@ class TestStoreCommands:
         assert main(["store", "export", str(dump), "--store", str(root)]) == 0
         assert "2 entries" in capsys.readouterr().out
         assert dump.exists()
+
+    def test_store_export_cli_round_trips_records(self, tmp_path, capsys):
+        """`repro store export` must dump exactly the records a reader
+        would get from the store — keys, kinds, meta and bit-exact
+        values — so the dump is a faithful offline copy."""
+        from repro.store import ResultStore
+        from repro.store.backend import _decode
+
+        root = tmp_path / "store"
+        self._campaign(root)
+        dump = tmp_path / "dump.json"
+        assert main(["store", "export", str(dump), "--store", str(root)]) == 0
+        capsys.readouterr()
+
+        store = ResultStore(root)
+        payload = json.loads(dump.read_text())
+        entries = payload["entries"]
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry["kind"] == "campaign-unit"
+            assert entry["meta"]["builder"] == "bias"
+            assert _decode(entry["record"]) == store.get(entry["key"])
 
     def test_store_ls_empty(self, tmp_path, capsys):
         assert main(["store", "ls", "--store", str(tmp_path / "empty")]) == 0

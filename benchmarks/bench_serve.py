@@ -24,9 +24,19 @@ merges a ``serve`` entry (plus ``serve_trajectory``) into
 ``BENCH_perf.json`` without disturbing other benchmarks' keys;
 ``--smoke`` shrinks everything for CI and asserts correctness only.
 
+``--chaos`` appends a fourth phase against a **fresh** service with a
+seeded :class:`repro.faults.FaultPlan` armed: 5 % of sqlite index
+transactions raise ``OperationalError`` and 5 % of payload reads raise
+``OSError``.  The store retries, quarantines or degrades around the
+injected faults; the phase asserts the fault schedule actually fired,
+that every served document is still byte-identical to a fault-free
+direct run, and reports the throughput cost as ``chaos_rps`` /
+``chaos_slowdown_vs_cold`` inside the ``serve.chaos`` entry.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--chaos]
+                                                    [--out PATH]
 """
 
 from __future__ import annotations
@@ -216,6 +226,108 @@ def run_bench(smoke: bool) -> dict:
     }
 
 
+#: Injected fault rate for the chaos phase (per fault-point firing).
+CHAOS_FAULT_P = 0.05
+#: Seed for the chaos schedule: same seed, same fault sequence.  Chosen
+#: so the draw sequence is dense enough that faults land in both the
+#: cold (index write-back) and rerun (warm payload read) windows even
+#: on the tiny smoke workload.
+CHAOS_SEED = 8
+
+
+def run_chaos(smoke: bool, cold_rps: float) -> dict:
+    """Drive the same closed-loop workload against a fresh service with
+    a seeded 5 % fault schedule armed on the store's hot paths."""
+    import sqlite3
+
+    from repro.campaign import run_campaign
+    from repro.faults import FaultPlan, FaultRule
+    from repro.serve import CharacterizationService, ServeClient, serve_background
+    from repro.serve.validate import campaign_spec_from_dict
+    from repro.store import ResultStore
+    from repro.store.keys import campaign_key
+
+    payloads = _payloads(smoke)
+    specs = [campaign_spec_from_dict(p) for p in payloads]
+    n_threads = 2 if smoke else 4
+    # The smoke workload only hits the store ~20 times; at 5 % odds are
+    # ~1 in 3 that no fault fires at all, so smoke runs a hotter rate to
+    # keep "the schedule actually fired" assertable.
+    fault_p = 0.3 if smoke else CHAOS_FAULT_P
+    plan = FaultPlan([
+        FaultRule("store.index", raises=sqlite3.OperationalError,
+                  message="injected: database is locked",
+                  probability=fault_p),
+        FaultRule("store.payload_read", raises=OSError,
+                  message="injected: disk I/O error",
+                  probability=fault_p),
+    ], seed=CHAOS_SEED)
+    print(f"[bench_serve] chaos: {fault_p:.0%} faults on store.index "
+          f"+ store.payload_read, seed {CHAOS_SEED}")
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench_serve_chaos_"))
+    service = None
+    server = None
+    try:
+        store = ResultStore(workdir / "store")
+        service = CharacterizationService(store=store, workers=2).start()
+        server, _thread = serve_background(service)
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        ServeClient(base_url).wait_until_up()
+
+        with plan.activate():
+            # cold under faults: index writes flake on the write-back path
+            t_chaos = _closed_loop(ServeClient, base_url, payloads, n_threads)
+            # rerun under faults: warm reads flake, units re-execute or
+            # the service degrades to engine-only — either way it answers
+            t_rerun = _closed_loop(ServeClient, base_url, payloads, n_threads)
+        chaos_rps = len(payloads) / t_chaos
+        faults = {"store.index": plan.triggered("store.index"),
+                  "store.payload_read": plan.triggered("store.payload_read")}
+        assert plan.triggered() > 0, \
+            "chaos phase injected zero faults — schedule never fired"
+        print(f"  chaos cold  {len(payloads)} requests in {t_chaos:.3f}s "
+              f"({chaos_rps:.1f} req/s), rerun in {t_rerun:.3f}s, "
+              f"{plan.triggered()} faults fired {faults}")
+
+        # Byte-identity gate: served-under-chaos documents must equal
+        # fault-free direct runs (the plan is disarmed again here).
+        client = ServeClient(base_url)
+        by_fp = {job["fingerprint"]: job for job in client.jobs()}
+        checked = 0
+        for spec in specs[:3]:
+            job = by_fp[campaign_key(spec)]
+            served = client.result_bytes(job["id"]).decode("utf-8")
+            direct = run_campaign(spec).to_json() + "\n"
+            assert served == direct, \
+                "chaos-served result != fault-free direct run"
+            checked += 1
+        print(f"  chaos byte-identity: {checked} served documents == "
+              f"fault-free direct runs")
+        counters = service.metrics.snapshot()
+    finally:
+        if server is not None:
+            server.shutdown()
+        if service is not None:
+            service.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "fault_probability": fault_p,
+        "seed": CHAOS_SEED,
+        "n_requests": len(payloads),
+        "client_threads": n_threads,
+        "chaos_s": t_chaos,
+        "chaos_rerun_s": t_rerun,
+        "chaos_rps": chaos_rps,
+        "chaos_slowdown_vs_cold": cold_rps / chaos_rps,
+        "faults_injected": faults,
+        "byte_identical": True,
+        "counters": counters,
+    }
+
+
 def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
     """Merge into the trajectory file without clobbering other benches."""
     payload: dict = {}
@@ -229,13 +341,16 @@ def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
         "platform": platform.platform(),
         **results,
     }
-    payload.setdefault("serve_trajectory", []).append({
+    point = {
         "cold_rps": results["cold_rps"],
         "warm_rps": results["warm_rps"],
         "coalesced_rps": results["coalesced_rps"],
         "warm_speedup_vs_cold": results["warm_speedup_vs_cold"],
         "smoke": smoke,
-    })
+    }
+    if "chaos" in results:
+        point["chaos_rps"] = results["chaos"]["chaos_rps"]
+    payload.setdefault("serve_trajectory", []).append(point)
     out.write_text(json.dumps(payload, indent=2) + "\n")
 
 
@@ -244,12 +359,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workload for CI; correctness only, "
                              "no speedup floor")
+    parser.add_argument("--chaos", action="store_true",
+                        help="append a phase with a seeded 5%% fault "
+                             "schedule armed on the store hot paths; "
+                             "asserts byte-identity under injected faults")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help=f"output JSON (default: {DEFAULT_OUT} in full "
                              "mode, bench_serve_smoke.json in smoke mode)")
     args = parser.parse_args(argv)
 
     results = run_bench(args.smoke)
+    if args.chaos:
+        results["chaos"] = run_chaos(args.smoke, results["cold_rps"])
 
     out = args.out or (pathlib.Path("bench_serve_smoke.json") if args.smoke
                        else DEFAULT_OUT)

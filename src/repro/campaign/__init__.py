@@ -33,7 +33,11 @@ command line; ``benchmarks/bench_campaign.py`` tracks its throughput.
 """
 
 from repro.campaign.builders import BUILDERS, BuiltUnit, register_builder
-from repro.campaign.executors import ProcessPoolCampaignExecutor, SerialExecutor
+from repro.campaign.executors import (
+    CampaignExecutionError,
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+)
 from repro.campaign.measurements import MEASUREMENTS, register_measurement
 from repro.campaign.result import AXIS_COLUMNS, CampaignResult
 from repro.campaign.runner import UnitRuntime, run_campaign
@@ -43,6 +47,7 @@ __all__ = [
     "AXIS_COLUMNS",
     "BUILDERS",
     "BuiltUnit",
+    "CampaignExecutionError",
     "CampaignResult",
     "CampaignSpec",
     "MEASUREMENTS",

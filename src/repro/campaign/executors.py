@@ -9,6 +9,16 @@ chunk pickles to a small message, records are plain floats), and chunked
 dispatch keeps the per-chunk circuit cache effective while amortising
 IPC overhead over many units per message.
 
+The pool executor also survives its workers: a ``BrokenProcessPool``
+(OOM-killed or SIGKILLed worker, crashed interpreter) loses only the
+chunks that had not completed — the pool is rebuilt and exactly those
+chunks re-execute, up to ``max_attempts`` per chunk, after which a
+structured :class:`CampaignExecutionError` names every unit that could
+not be computed.  Because chunks are independent and results are merged
+back in chunk order, a recovered run is byte-identical to an
+uninterrupted (or serial) one — ``tests/faults/test_pool_faults.py``
+kills workers mid-campaign to pin this.
+
 On a single-CPU container the pool cannot beat serial (there is nothing
 to run on); ``benchmarks/bench_campaign.py`` records the host CPU count
 next to its serial/parallel throughput numbers for exactly that reason.
@@ -18,12 +28,26 @@ from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from functools import partial
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Iterator
 
 from repro.campaign.runner import run_chunk
 from repro.campaign.spec import CampaignSpec, WorkUnit
+from repro.faults.harness import fault_point
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign could not compute some units even after retries.
+
+    ``units`` lists the :class:`WorkUnit`\\ s that were lost, so the
+    caller (or its operator) knows exactly which corner/seed/code
+    combinations have no records instead of guessing from a bare
+    ``BrokenProcessPool`` traceback.
+    """
+
+    def __init__(self, message: str, units: list[WorkUnit]) -> None:
+        super().__init__(message)
+        self.units = list(units)
 
 
 class SerialExecutor:
@@ -41,26 +65,84 @@ class SerialExecutor:
             yield run_chunk(spec, chunk)
 
 
+def _run_chunk_task(spec: CampaignSpec, chunk: list[WorkUnit],
+                    attempt: int) -> list[dict]:
+    """The picklable message the pool ships to workers.  ``attempt``
+    exists for the fault harness: child-side kill rules key off it
+    (``when=lambda ctx: ctx["attempt"] == 0``) so a chaos run dies
+    deterministically on the first dispatch and recovers on the
+    retry."""
+    fault_point("campaign.pool_chunk", attempt=attempt, n_units=len(chunk))
+    return run_chunk(spec, chunk)
+
+
 class ProcessPoolCampaignExecutor:
     """Dispatch chunks to a :class:`concurrent.futures.ProcessPoolExecutor`.
 
     ``max_workers`` defaults to the host CPU count.  The default chunk
     size aims at ~4 chunks per worker: small enough to load-balance,
     large enough that each worker's circuit cache and the one-time
-    import/fork cost amortise over real work.
+    import/fork cost amortise over real work.  ``max_attempts`` bounds
+    how many times one chunk may be re-dispatched after pool breakage
+    before the run fails with :class:`CampaignExecutionError`.
     """
 
     name = "process-pool"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(self, max_workers: int | None = None,
+                 max_attempts: int = 3) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.max_attempts = max_attempts
+        #: Pool rebuilds performed on the last map_chunks call.
+        self.restarts = 0
 
     def default_chunk_size(self, spec: CampaignSpec) -> int:
         return max(1, math.ceil(spec.n_units / (4 * self.max_workers)))
 
     def map_chunks(self, spec: CampaignSpec,
                    chunks: list[list[WorkUnit]]) -> Iterator[list[dict]]:
-        # partial() of the module-level run_chunk keeps the task picklable;
-        # pool.map preserves chunk order, which from_units relies on.
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            yield from pool.map(partial(run_chunk, spec), chunks)
+        """Yield chunk results in chunk order, surviving worker death.
+
+        Results are collected per chunk index and yielded contiguously
+        as soon as the next-in-order chunk completes, so streaming
+        progress is preserved.  When the pool breaks, only chunks
+        without a collected result re-dispatch (fresh pool, bumped
+        attempt number); a measurement exception inside a healthy
+        worker still propagates unchanged — retrying is for lost
+        workers, not buggy code.
+        """
+        results: dict[int, list[dict]] = {}
+        attempts = {i: 0 for i in range(len(chunks))}
+        pending = set(attempts)
+        self.restarts = 0
+        next_to_yield = 0
+        while pending:
+            try:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    futures = {
+                        pool.submit(_run_chunk_task, spec, chunks[i],
+                                    attempts[i]): i
+                        for i in sorted(pending)
+                    }
+                    for future in as_completed(futures):
+                        i = futures[future]
+                        results[i] = future.result()
+                        pending.discard(i)
+                        while next_to_yield in results:
+                            yield results[next_to_yield]
+                            next_to_yield += 1
+            except BrokenExecutor as exc:
+                self.restarts += 1
+                for i in pending:
+                    attempts[i] += 1
+                exhausted = sorted(i for i in pending
+                                   if attempts[i] >= self.max_attempts)
+                if exhausted:
+                    units = [u for i in exhausted for u in chunks[i]]
+                    raise CampaignExecutionError(
+                        f"pool broke {attempts[exhausted[0]]} times on "
+                        f"{len(exhausted)} chunk(s) ({len(units)} units) "
+                        f"after {self.max_attempts} attempts each; first "
+                        f"lost unit: {units[0]} [{exc}]", units) from exc

@@ -172,7 +172,16 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
     the missing units; plain runs advance chunk by chunk from zero.
     The callback observes execution only — results are identical with
     or without it.
+
+    An **unavailable store degrades, never fails, the run**: if the
+    store cannot be read (after its own internal retries) every unit
+    executes through the engine, and if it cannot be written the
+    computed records are still returned — persistence is best-effort.
+    Either event is surfaced on ``result.store_stats["store_errors"]``;
+    the records themselves are identical either way.
     """
+    import sqlite3
+
     from repro.campaign.executors import SerialExecutor
     from repro.campaign.result import CampaignResult
 
@@ -188,7 +197,12 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
 
     keyer = UnitKeyer(spec)
     keys = [keyer.key(unit) for unit in units]
-    cached = store.get_many(keys)
+    store_errors = 0
+    try:
+        cached = store.get_many(keys)
+    except (sqlite3.OperationalError, OSError):
+        cached = {}
+        store_errors += 1
     missing = [(u, k) for u, k in zip(units, keys) if k not in cached]
     reused = len(units) - len(missing)
     inner = None
@@ -210,12 +224,16 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
             "measurements": list(spec.measurements),
         }))
         fresh_by_key[key] = record
-    store.put_many(entries)
+    try:
+        store.put_many(entries)
+    except (sqlite3.OperationalError, OSError):
+        store_errors += 1         # computed records outlive the write-back
     records = [cached[k] if k in cached else fresh_by_key[k] for k in keys]
     result = CampaignResult.from_units(spec, units, records)
     result.store_stats = {
         "reused_units": reused,
         "executed_units": len(missing),
         "store_root": str(store.root),
+        "store_errors": store_errors,
     }
     return result

@@ -338,6 +338,13 @@ def _cmd_store(args: argparse.Namespace) -> int:
         n = store.export(args.output, kind=args.kind)
         print(f"wrote {args.output} ({n} entries)")
         return 0
+    if args.store_cmd == "verify":
+        report = store.verify()
+        print(f"verify: {report['checked']} checked, "
+              f"{report['intact']} intact, "
+              f"{report['quarantined']} quarantined, "
+              f"{report['missing']} missing")
+        return 0 if report["intact"] == report["checked"] else 1
     raise AssertionError(f"unhandled store command {args.store_cmd!r}")
 
 
@@ -349,7 +356,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = CharacterizationService(store=store, workers=args.workers,
                                       pool_workers=args.pool_workers,
                                       journal_dir=args.journal,
-                                      max_jobs=args.max_jobs)
+                                      max_jobs=args.max_jobs,
+                                      job_timeout=args.job_timeout)
     server = make_server(args.host, args.port, service, verbose=args.verbose)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} "
@@ -608,7 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
     pexp = pstsub.add_parser("export", help="dump entries as one JSON file")
     pexp.add_argument("output", help="output JSON path")
     pexp.add_argument("--kind", default=None, help="filter by kind")
-    for sp in (pls, pstat, pgc, pexp):
+    pver = pstsub.add_parser(
+        "verify",
+        help="re-hash every payload; quarantine corrupt/truncated files "
+             "(exit 1 if anything was unhealthy)")
+    for sp in (pls, pstat, pgc, pexp, pver):
         sp.add_argument("--store", default=None, metavar="ROOT",
                         help="store root (default: $REPRO_STORE or "
                              "~/.cache/repro-store)")
@@ -629,6 +641,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="service worker threads (default: 2)")
     psv.add_argument("--pool-workers", type=int, default=1,
                      help="campaign process-pool size per job (1 = serial)")
+    psv.add_argument("--job-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-job wall-clock budget; overruns fail the "
+                          "job instead of wedging a worker (default: none)")
     psv.add_argument("--store", default=None, metavar="ROOT",
                      help="result store root (default: $REPRO_STORE or "
                           "~/.cache/repro-store)")

@@ -1,0 +1,63 @@
+"""Deterministic fault injection + the stack's shared failure taxonomy.
+
+The store/campaign/serve stack makes hard promises (byte-identical
+results, exactly-once execution, restart-safe journals); this package
+is how those promises get *attacked* on purpose.  See
+:mod:`repro.faults.harness` for the injection machinery and
+``tests/faults/`` for the chaos suite that drives it through the
+public APIs.
+
+Two shared exception tuples classify failures consistently across
+layers:
+
+* :data:`NUMERIC_FAILURES` — a *design* failed numerically (no
+  operating point, collapsed overdrive, singular matrix, domain
+  error).  Legitimate "does not operate" verdicts: characterization
+  sweeps and the optimizer treat these as infeasible points.
+* :data:`TRANSIENT_INFRA_ERRORS` — the *infrastructure* failed
+  (broken pool, exhausted memory, I/O).  Says nothing about the
+  design; must never be cached as its verdict, and must propagate (or
+  be retried) rather than be swallowed.
+"""
+
+from numpy.linalg import LinAlgError
+
+from concurrent.futures import BrokenExecutor
+
+from repro.faults.harness import (
+    FAULTS_ENV,
+    FaultCrash,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    activate,
+    active_plan,
+    arm_from_env,
+    deactivate,
+    fault_point,
+    plan_from_env,
+)
+from repro.spice.dc import ConvergenceError
+
+#: A design failed numerically — expected, feasibility-relevant.
+NUMERIC_FAILURES = (ConvergenceError, ValueError, ArithmeticError,
+                    LinAlgError)
+
+#: The infrastructure failed — transient, never a design verdict.
+TRANSIENT_INFRA_ERRORS = (BrokenExecutor, MemoryError, OSError)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultCrash",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "NUMERIC_FAILURES",
+    "TRANSIENT_INFRA_ERRORS",
+    "activate",
+    "active_plan",
+    "arm_from_env",
+    "deactivate",
+    "fault_point",
+    "plan_from_env",
+]

@@ -203,7 +203,7 @@ class CandidateEvaluator:
                 for metric in result.metrics}
 
     def _measure(self, x: np.ndarray) -> Evaluation:
-        from concurrent.futures import BrokenExecutor
+        from repro.faults import TRANSIENT_INFRA_ERRORS
 
         params = self.space.as_dict(x)
         transient = False
@@ -217,9 +217,9 @@ class CandidateEvaluator:
             metrics = {}
             error = f"{type(exc).__name__}: {exc}"
             # ... unless the *infrastructure* failed, which says nothing
-            # about the design and must not become its cached verdict.
-            transient = isinstance(exc, (BrokenExecutor, MemoryError,
-                                         OSError))
+            # about the design and must not become its cached verdict
+            # (the shared taxonomy in repro.faults).
+            transient = isinstance(exc, TRANSIENT_INFRA_ERRORS)
         score = self.objective.score(metrics) if metrics else math.inf
         feasible = bool(metrics) and self.objective.feasible(metrics)
         return Evaluation(x=x, metrics=metrics, score=score,

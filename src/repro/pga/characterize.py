@@ -24,6 +24,7 @@ from repro.analysis.slew import measure_slew_rate
 from repro.campaign import CampaignSpec, mc_seeds, run_campaign
 from repro.circuits.micamp import build_mic_amp
 from repro.circuits.powerbuffer import build_power_buffer
+from repro.faults import NUMERIC_FAILURES
 from repro.layout.area import estimate_mic_amp_area_mm2
 from repro.process.corners import CONSUMER_TEMPS_C
 from repro.process.technology import Technology
@@ -41,6 +42,31 @@ class CharacterizationOptions:
     psrr_trials: int = 5
     noise_points_per_decade: int = 12
     seed: int = 2026
+
+
+def gain_holds_at_supply(tech: Technology, total_supply: float,
+                         nominal_gain_db: float,
+                         tol_db: float = 0.5) -> bool:
+    """One probe of the minimum-supply search: does the 1 kHz gain at
+    ``total_supply`` hold within ``tol_db`` of nominal?
+
+    Below some supply the circuit cannot even be built (switch overdrive
+    collapses) or has no operating point: both count as "does not
+    operate" — but only the *numeric* failure modes do
+    (:data:`repro.faults.NUMERIC_FAILURES`).  Anything else — a
+    ``MemoryError``, a broken pool, a typo-level ``TypeError`` — says
+    nothing about the supply under test and propagates, so an
+    infrastructure fault can never masquerade as a threshold.
+    """
+    try:
+        d_sup = build_mic_amp(tech, gain_code=5,
+                              vdd=total_supply / 2, vss=-total_supply / 2)
+        op_s = dc_operating_point(d_sup.circuit)
+        h = op_s.small_signal().transfer(np.array([1e3]), d_sup.outp, d_sup.outn)
+        g_db = 20 * math.log10(abs(h[0]))
+    except NUMERIC_FAILURES:
+        return False
+    return abs(g_db - nominal_gain_db) < tol_db
 
 
 def characterize_mic_amp(
@@ -100,22 +126,9 @@ def characterize_mic_amp(
     # --- minimum supply: gain must hold within 0.5 dB of nominal ---
     nominal_gain = gm.measured_db[-1]
 
-    def gain_ok(total_supply: float) -> bool:
-        try:
-            d_sup = build_mic_amp(tech, gain_code=5,
-                                  vdd=total_supply / 2, vss=-total_supply / 2)
-            op_s = dc_operating_point(d_sup.circuit)
-            h = op_s.small_signal().transfer(np.array([1e3]), d_sup.outp, d_sup.outn)
-            g_db = 20 * math.log10(abs(h[0]))
-        except Exception:
-            # Below some supply the circuit cannot even be built (switch
-            # overdrive collapses) or has no operating point: both count
-            # as "does not operate".
-            return False
-        return abs(g_db - nominal_gain) < 0.5
-
     measured["supply_min_v"] = binary_search_threshold(
-        gain_ok, 1.8, 3.0, tol=0.05 if opt.quick else 0.02
+        lambda s: gain_holds_at_supply(tech, s, nominal_gain),
+        1.8, 3.0, tol=0.05 if opt.quick else 0.02
     )
 
     # --- layout area model ---

@@ -42,7 +42,11 @@ cached) is answered from the store without touching the engine —
 from repro.serve.api import ServeServer, make_server, serve_background
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobQueue
-from repro.serve.service import CharacterizationService, ServiceMetrics
+from repro.serve.service import (
+    CharacterizationService,
+    JobTimeout,
+    ServiceMetrics,
+)
 from repro.serve.validate import (
     SpecValidationError,
     campaign_spec_from_dict,
@@ -59,6 +63,7 @@ __all__ = [
     "CharacterizationService",
     "Job",
     "JobQueue",
+    "JobTimeout",
     "ServeClient",
     "ServeError",
     "ServeServer",

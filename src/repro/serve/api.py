@@ -112,7 +112,27 @@ class ServeHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _guarded(self, handler) -> None:
+        """Last-resort isolation: an unexpected exception in a route
+        answers a JSON 500 (when the response has not started) instead
+        of tearing down the connection with a half-written stream."""
+        try:
+            handler()
+        except Exception as exc:
+            self.service.metrics.incr("http_errors")
+            self.close_connection = True
+            try:
+                self._error(500, f"internal error: {type(exc).__name__}: {exc}")
+            except OSError:
+                pass                    # response already underway / socket gone
+
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        self._guarded(self._do_post)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._guarded(self._do_get)
+
+    def _do_post(self) -> None:
         self.service.metrics.incr("http_requests")
         path = urlsplit(self.path).path.rstrip("/")
         kind = {"/v1/campaigns": "campaign", "/v1/optimize": "optimize"}.get(path)
@@ -129,7 +149,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         view = job.view()
         self._send_json(200 if job.terminal else 202, view)
 
-    def do_GET(self) -> None:  # noqa: N802
+    def _do_get(self) -> None:
         self.service.metrics.incr("http_requests")
         split = urlsplit(self.path)
         path = split.path.rstrip("/")

@@ -4,6 +4,15 @@
 fetch — and is what ``repro client`` and ``benchmarks/bench_serve.py``
 drive.  Errors come back as :class:`ServeError` carrying the HTTP
 status and the server's one-line message.
+
+Transient transport failures (connection refused/reset mid-restart — a
+:class:`ServeError` with ``status == 0``) are retried with capped
+exponential backoff, but **only for GETs**: status polls and result
+fetches are idempotent, so a poll that dies while the server restarts
+rides through instead of failing a long ``wait``.  POSTs are never
+retried — a resubmitted campaign is coalesced or answered warm, but
+that is the caller's decision, not the transport's.  Tune with the
+``retries=`` / ``backoff=`` constructor knobs (``retries=0`` disables).
 """
 
 from __future__ import annotations
@@ -26,14 +35,36 @@ class ServeError(RuntimeError):
 class ServeClient:
     """One service endpoint, addressed by base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 4, backoff: float = 0.05) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str, payload=None) -> tuple[int, bytes]:
+        """One HTTP exchange; idempotent GETs retry transport failures
+        (``status == 0`` — the server was unreachable, nothing executed)
+        up to ``retries`` times with doubling, 1 s-capped backoff."""
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        delay = self.backoff
+        for attempt in range(attempts):
+            try:
+                return self._request_once(method, path, payload)
+            except ServeError as exc:
+                if exc.status != 0 or attempt == attempts - 1:
+                    raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+        raise AssertionError("unreachable")
+
+    def _request_once(self, method: str, path: str,
+                      payload=None) -> tuple[int, bytes]:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -54,6 +85,11 @@ class ServeClient:
             raise ServeError(exc.code, message) from exc
         except urllib.error.URLError as exc:
             raise ServeError(0, f"cannot reach {url}: {exc.reason}") from exc
+        except OSError as exc:
+            # urllib only wraps errors raised while *sending*; a
+            # connection torn down while reading the response (server
+            # killed mid-restart) surfaces raw — same transport verdict.
+            raise ServeError(0, f"connection to {url} failed: {exc}") from exc
 
     def _get_json(self, path: str) -> dict:
         _status, body = self._request("GET", path)

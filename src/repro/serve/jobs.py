@@ -33,6 +33,8 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
+from repro.faults.harness import fault_point
+
 #: Job lifecycle states, in order.
 QUEUED = "queued"
 RUNNING = "running"
@@ -74,6 +76,8 @@ class Job:
     attached: int = 0
     #: True when the job was answered from the store without enqueuing.
     warm: bool = False
+    #: Times the job went back to the FIFO after losing its worker.
+    requeues: int = 0
     result: object = None
     _done_event: threading.Event = field(default_factory=threading.Event,
                                          repr=False)
@@ -100,6 +104,7 @@ class Job:
             "progress": dict(self.progress),
             "attached": self.attached,
             "warm": self.warm,
+            "requeues": self.requeues,
         }
 
 
@@ -111,7 +116,8 @@ class JobQueue:
     ``None`` so a service can drain and join its pool.
     """
 
-    def __init__(self, journal_dir=None, max_jobs: int = 1024) -> None:
+    def __init__(self, journal_dir=None, max_jobs: int = 1024,
+                 max_requeues: int = 2) -> None:
         if max_jobs < 1:
             raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
         self._lock = threading.Lock()
@@ -120,6 +126,13 @@ class JobQueue:
         self._jobs: dict[str, Job] = {}
         self._inflight: dict[str, Job] = {}   # fingerprint -> queued/running
         self._closed = False
+        #: In-process requeue budget per job (dead-worker recovery).
+        self.max_requeues = max_requeues
+        #: Journal-replay accounting (constructor-time, exposed by the
+        #: service in ``/v1/metrics``): jobs re-admitted from disk, and
+        #: journal files that could not be parsed (torn/truncated).
+        self.journal_recovered = 0
+        self.journal_corrupt = 0
         #: Retention cap: admitting a job beyond this evicts the oldest
         #: *terminal* jobs (and their journal files) — a long-lived
         #: server must not accumulate every result it ever produced in
@@ -191,6 +204,30 @@ class JobQueue:
                 return job
             return None
 
+    def requeue(self, job: Job) -> bool:
+        """Put a running job back at the head of the line after its
+        worker died mid-execution (injected crash, interpreter-level
+        failure).  Execution is idempotent — store-backed units already
+        computed are reused — so a bounded number of requeues loses no
+        work.  Past ``max_requeues`` the job fails instead (returns
+        ``False``): a job that kills every worker that touches it must
+        not ping-pong forever.
+        """
+        with self._cond:
+            if job.terminal:
+                return True
+            if job.requeues >= self.max_requeues:
+                return False
+            job.requeues += 1
+            job.state = QUEUED
+            job.started_at = None
+            job.progress = {}
+            self._inflight.setdefault(job.fingerprint, job)
+            self._pending.appendleft(job)
+            self._journal(job)
+            self._cond.notify()
+            return True
+
     def finish(self, job: Job, state: str, error: str | None = None) -> None:
         """Move ``job`` to a terminal state and release its fingerprint
         (later identical submissions start a fresh execution — or, for
@@ -258,20 +295,35 @@ class JobQueue:
         lock).  Results are never journalled — see the class docstring."""
         if self.journal_dir is None:
             return
+        # Torture hooks: the chaos suite crashes at either stage — before
+        # anything hits disk, or with the tmp staged but not yet visible —
+        # and asserts a restart loses no job either way.
+        fault_point("jobs.journal_write", job=job.id, state=job.state,
+                    stage="write")
         path = self.journal_dir / f"{job.id}.json"
         tmp = path.parent / f".{job.id}.{os.getpid()}.{next(_tmp_counter)}.tmp"
         tmp.write_text(json.dumps(job.view() | {"payload": job.payload},
                                   sort_keys=True))
+        fault_point("jobs.journal_write", job=job.id, state=job.state,
+                    stage="replace")
         os.replace(tmp, path)
 
     def _restore_journal(self) -> None:
         """Re-admit journalled jobs on startup (constructor-only, before
-        any worker exists, so no locking is needed)."""
+        any worker exists, so no locking is needed).  Unparseable
+        journal files (torn by a crash or filesystem truncation) are
+        counted, moved aside as ``<id>.json.corrupt`` for inspection,
+        and never silently shadow a future job."""
         for path in sorted(self.journal_dir.glob("*.json")):
             try:
                 snap = json.loads(path.read_text())
-            except (json.JSONDecodeError, OSError):
-                continue  # torn leftover; next journal write replaces it
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+                self.journal_corrupt += 1
+                try:
+                    os.replace(path, path.with_suffix(".json.corrupt"))
+                except OSError:
+                    pass
+                continue
             job = Job(id=snap["id"], kind=snap["kind"],
                       payload=snap.get("payload") or {},
                       fingerprint=snap["fingerprint"],
@@ -282,7 +334,8 @@ class JobQueue:
                       error=snap.get("error"),
                       progress=snap.get("progress") or {},
                       attached=snap.get("attached", 0),
-                      warm=snap.get("warm", False))
+                      warm=snap.get("warm", False),
+                      requeues=snap.get("requeues", 0))
             if job.terminal:
                 job._done_event.set()
             else:
@@ -292,6 +345,8 @@ class JobQueue:
                 job.state = QUEUED
                 job.started_at = None
                 job.progress = {}
+                job.requeues = 0       # a fresh process, a fresh budget
                 self._inflight[job.fingerprint] = job
                 self._pending.append(job)
             self._jobs[job.id] = job
+            self.journal_recovered += 1

@@ -29,19 +29,48 @@ Served campaign results are **byte-identical** to a direct
 ``run_campaign`` of the same spec: the store merge preserves bytes
 (PR 4's contract) and the result document is the plain
 ``CampaignResult.to_json()`` text.
+
+Failure policy (the robustness contract, attacked by ``tests/faults``):
+
+* **per-job timeouts** — with ``job_timeout`` set, every job carries a
+  wall-clock deadline enforced *cooperatively* at each progress step
+  (chunk boundaries for campaigns, evaluations for optimize); an
+  overrun fails the job with a one-line timeout error, never wedges a
+  worker forever.
+* **watchdog** — a background thread replaces dead worker threads
+  (an escaped ``BaseException``) and retires-and-replaces hung ones
+  (running past the cooperative deadline); a dying worker's job is
+  requeued (bounded by :attr:`JobQueue.max_requeues`) rather than lost.
+* **store degradation** — if the store is unavailable (after the
+  backend's own bounded retries), the service falls back to engine-only
+  execution: jobs still complete, ``/healthz`` reports ``degraded``,
+  ``/v1/metrics`` counts the events, and a periodic probe restores the
+  warm path once the store answers again.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
+import sqlite3
 import threading
+import time
 import traceback
 
+from repro.faults.harness import fault_point
 from repro.serve import jobs as J
 from repro.serve.validate import (
     SpecValidationError,
     campaign_spec_from_dict,
     optimize_request_from_dict,
 )
+
+#: What "the store is unavailable" looks like after backend retries.
+STORE_ERRORS = (sqlite3.OperationalError, OSError)
+
+
+class JobTimeout(Exception):
+    """A job exceeded the service's per-job wall-clock budget."""
 
 
 class ServiceMetrics:
@@ -78,46 +107,189 @@ class CharacterizationService:
     oldest terminal jobs (and their in-memory results) are evicted —
     an evicted campaign answers a fresh submission as a store warm hit,
     so nothing is lost but the job id.
+
+    ``job_timeout`` (seconds, ``None`` = unlimited) bounds each job's
+    wall clock; ``watchdog_interval`` paces the dead/hung-worker scan
+    (``0`` disables the watchdog); ``store_retry_interval`` paces the
+    recovery probe while the store is degraded.
     """
 
     def __init__(self, store=None, workers: int = 2, pool_workers: int = 1,
-                 journal_dir=None, max_jobs: int = 1024) -> None:
+                 journal_dir=None, max_jobs: int = 1024,
+                 job_timeout: float | None = None,
+                 watchdog_interval: float = 1.0,
+                 store_retry_interval: float = 5.0) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0, got {job_timeout}")
         self.store = store
         self.pool_workers = pool_workers
+        self.job_timeout = job_timeout
+        self.watchdog_interval = watchdog_interval
+        self.store_retry_interval = store_retry_interval
         self.queue = J.JobQueue(journal_dir=journal_dir, max_jobs=max_jobs)
         self.metrics = ServiceMetrics()
-        self._threads: list[threading.Thread] = []
         self._n_workers = workers
         self._started = False
+        # Worker-pool state (all guarded by _worker_lock).
+        self._worker_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._hung_threads: list[threading.Thread] = []
+        self._retired: set[str] = set()
+        self._active: dict[str, tuple[str, float]] = {}  # name -> (job, t0)
+        self._worker_seq = itertools.count()
+        self._stragglers: list[str] = []
+        self._stop_event = threading.Event()
+        self._watchdog: threading.Thread | None = None
+        # Store-degradation state.
+        self._store_lock = threading.Lock()
+        self._store_degraded = False
+        self._store_checked_at = 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _spawn_worker(self) -> threading.Thread:
+        t = threading.Thread(target=self._worker_loop,
+                             name=f"serve-worker-{next(self._worker_seq)}",
+                             daemon=True)
+        t.start()
+        return t
+
     def start(self) -> "CharacterizationService":
         if self._started:
             return self
         self._started = True
-        for i in range(self._n_workers):
-            t = threading.Thread(target=self._worker_loop,
-                                 name=f"serve-worker-{i}", daemon=True)
-            t.start()
-            self._threads.append(t)
+        self._stop_event.clear()
+        self._stragglers = []
+        with self._worker_lock:
+            self._threads = [self._spawn_worker()
+                             for _ in range(self._n_workers)]
+        if self.watchdog_interval > 0:
+            self._watchdog = threading.Thread(target=self._watchdog_loop,
+                                              name="serve-watchdog",
+                                              daemon=True)
+            self._watchdog.start()
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
+    def stop(self, timeout: float = 10.0) -> list[str]:
+        """Drain and join the pool within ``timeout`` seconds **total**.
+
+        Always returns — a worker hung in a job cannot hold shutdown
+        hostage.  The names of workers that failed to exit come back as
+        *stragglers* (also counted in metrics and reflected in
+        :meth:`health`, which keeps ``/healthz`` honest about the
+        leftover thread instead of pretending a clean stop).
+        """
+        self._stop_event.set()
         self.queue.close()
-        for t in self._threads:
-            t.join(timeout)
-        self._threads = []
+        if self._watchdog is not None:
+            self._watchdog.join(timeout)
+            self._watchdog = None
+        deadline = time.monotonic() + timeout
+        stragglers: list[str] = []
+        with self._worker_lock:
+            threads = self._threads + self._hung_threads
+            self._threads = []
+            self._hung_threads = []
+        for t in threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+            if t.is_alive():
+                stragglers.append(t.name)
+        self._stragglers = stragglers
+        if stragglers:
+            self.metrics.incr("stop_stragglers", len(stragglers))
         self._started = False
+        return stragglers
 
     def __enter__(self) -> "CharacterizationService":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        while not self._stop_event.wait(self.watchdog_interval):
+            try:
+                self.watchdog_scan()
+            except Exception:       # the watchdog itself must not die
+                traceback.print_exc()
+
+    def watchdog_scan(self) -> None:
+        """One dead/hung sweep (public so tests can drive it without
+        waiting out the interval).
+
+        Dead threads (an escaped ``BaseException``; their job was
+        already requeued by the dying worker) are replaced in place.  A
+        thread still running one job past the cooperative deadline plus
+        two scan intervals is *hung* — it cannot be killed, so it is
+        retired (it exits when/if it wakes) and a replacement keeps the
+        pool at strength; it remains joined-and-reported at stop time.
+        """
+        now = time.monotonic()
+        hang_after = (None if self.job_timeout is None
+                      else self.job_timeout + 2 * self.watchdog_interval)
+        with self._worker_lock:
+            if self._stop_event.is_set():
+                return
+            for i, t in enumerate(self._threads):
+                if not t.is_alive():
+                    self._active.pop(t.name, None)
+                    self._threads[i] = self._spawn_worker()
+                    self.metrics.incr("workers_replaced")
+                    continue
+                active = self._active.get(t.name)
+                if (hang_after is not None and active is not None
+                        and now - active[1] > hang_after):
+                    self._retired.add(t.name)
+                    self._hung_threads.append(t)
+                    self._threads[i] = self._spawn_worker()
+                    self.metrics.incr("workers_hung")
+                    self.metrics.incr("workers_replaced")
+
+    # ------------------------------------------------------------------
+    # Store degradation
+    # ------------------------------------------------------------------
+    def _degrade_store(self) -> None:
+        with self._store_lock:
+            first = not self._store_degraded
+            self._store_degraded = True
+            self._store_checked_at = time.monotonic()
+        self.metrics.incr("store_errors")
+        if first:
+            self.metrics.incr("store_degraded_events")
+
+    def _active_store(self):
+        """The store if it is believed healthy, else ``None`` (engine-only
+        degradation).  While degraded, at most one cheap index probe per
+        ``store_retry_interval`` tests for recovery."""
+        if self.store is None:
+            return None
+        with self._store_lock:
+            if not self._store_degraded:
+                return self.store
+            if (time.monotonic() - self._store_checked_at
+                    < self.store_retry_interval):
+                return None
+            self._store_checked_at = time.monotonic()
+        try:
+            self.store.contains("-recovery-probe-")
+        except STORE_ERRORS:
+            self.metrics.incr("store_errors")
+            return None
+        with self._store_lock:
+            self._store_degraded = False
+        self.metrics.incr("store_recovered")
+        return self.store
+
+    @property
+    def store_degraded(self) -> bool:
+        with self._store_lock:
+            return self._store_degraded
 
     # ------------------------------------------------------------------
     # Submission
@@ -181,9 +353,11 @@ class CharacterizationService:
         through ``get_many`` — if a file vanished between probe and
         merge (a racing gc), ``run_campaign`` transparently re-executes
         just those units inline, which is still correct, merely less
-        warm than advertised.
+        warm than advertised.  An unavailable store degrades to the
+        cold path instead of failing the submission.
         """
-        if self.store is None:
+        store = self._active_store()
+        if store is None:
             return None
         from repro.campaign import run_campaign
         from repro.store import UnitKeyer
@@ -191,10 +365,14 @@ class CharacterizationService:
         units = spec.expand()
         keyer = UnitKeyer(spec)
         keys = [keyer.key(unit) for unit in units]
-        present = self.store.contains_many(keys)
-        if len(present) < len(keys):
+        try:
+            present = store.contains_many(keys)
+            if len(present) < len(keys):
+                return None
+            result = run_campaign(spec, store=store)
+        except STORE_ERRORS:
+            self._degrade_store()
             return None
-        result = run_campaign(spec, store=self.store)
         job = J.Job(id=J.new_job_id(), kind="campaign",
                     payload=payload if isinstance(payload, dict) else {},
                     fingerprint=fingerprint, state=J.DONE, warm=True,
@@ -223,12 +401,23 @@ class CharacterizationService:
         return SerialExecutor()
 
     def _worker_loop(self) -> None:
+        name = threading.current_thread().name
         while True:
+            with self._worker_lock:
+                if name in self._retired:
+                    self._retired.discard(name)
+                    return
             job = self.queue.next_job()
             if job is None:
                 return
+            with self._worker_lock:
+                self._active[name] = (job.id, time.monotonic())
             try:
                 self._run_job(job)
+            except JobTimeout as exc:
+                self.metrics.incr("jobs_timeout")
+                self.metrics.incr("jobs_failed")
+                self.queue.finish(job, J.FAILED, error=str(exc))
             except SpecValidationError as exc:
                 self.metrics.incr("jobs_failed")
                 self.queue.finish(job, J.FAILED, error=str(exc))
@@ -237,8 +426,43 @@ class CharacterizationService:
                 traceback.print_exc()
                 self.queue.finish(job, J.FAILED,
                                   error=f"{type(exc).__name__}: {exc}")
+            except BaseException as exc:
+                # The worker itself is dying (injected crash, interpreter
+                # teardown).  The job is innocent until it exhausts its
+                # requeue budget: execution is idempotent, so putting it
+                # back loses nothing — then let the thread die and the
+                # watchdog replace it.
+                self.metrics.incr("workers_died")
+                if self.queue.requeue(job):
+                    self.metrics.incr("jobs_requeued")
+                else:
+                    self.metrics.incr("jobs_failed")
+                    self.queue.finish(
+                        job, J.FAILED,
+                        error=f"worker died: {type(exc).__name__}: {exc}")
+                raise
+            finally:
+                with self._worker_lock:
+                    self._active.pop(name, None)
+
+    def _deadline_progress(self, job: J.Job, update) -> "callable":
+        """Wrap a job's progress updater with the cooperative deadline
+        check: every progress step (chunk / evaluation) both reports and
+        gives the timeout a chance to fire."""
+        start = job.started_at or time.time()   # anchored at dequeue
+        deadline = (None if self.job_timeout is None
+                    else start + self.job_timeout)
+
+        def progress(*args) -> None:
+            update(*args)
+            if deadline is not None and time.time() > deadline:
+                raise JobTimeout(
+                    f"job {job.id} exceeded the {self.job_timeout}s "
+                    f"wall-clock budget at {job.progress}")
+        return progress
 
     def _run_job(self, job: J.Job) -> None:
+        fault_point("serve.job", job=job.id, kind=job.kind)
         if job.kind == "campaign":
             self._run_campaign_job(job)
         elif job.kind == "optimize":
@@ -248,18 +472,33 @@ class CharacterizationService:
         self.metrics.incr("jobs_done")
         self.queue.finish(job, J.DONE)
 
+    def _cancellable_chunk_size(self, spec) -> int | None:
+        """With a deadline armed, bound serial chunks so the cooperative
+        check runs every few units instead of once per campaign (the
+        serial executor's default is one whole-campaign chunk).  Without
+        a deadline keep the executor's heuristic — and its cache
+        behaviour — untouched."""
+        if self.job_timeout is None or self.pool_workers > 1:
+            return None
+        return max(1, math.ceil(spec.n_units / 8))
+
     def _run_campaign_job(self, job: J.Job) -> None:
         from repro.campaign import run_campaign
 
         spec = campaign_spec_from_dict(job.payload)
 
-        def progress(done: int, total: int) -> None:
+        def update(done: int, total: int) -> None:
             job.progress = {"units_done": done, "units_total": total}
 
+        store = self._active_store()
         result = run_campaign(spec, executor=self._campaign_executor(),
-                              store=self.store, progress=progress)
+                              chunk_size=self._cancellable_chunk_size(spec),
+                              store=store,
+                              progress=self._deadline_progress(job, update))
         job.result = result
         if result.store_stats is not None:
+            if result.store_stats.get("store_errors"):
+                self._degrade_store()   # ran engine-only; flag the store
             self.metrics.incr("units_executed",
                               result.store_stats["executed_units"])
             self.metrics.incr("units_reused",
@@ -272,7 +511,7 @@ class CharacterizationService:
 
         kwargs = optimize_request_from_dict(job.payload)
 
-        def progress(done: int, budget: int) -> None:
+        def update(done: int, budget: int) -> None:
             job.progress = {"evaluations_done": done, "budget": budget}
 
         result = optimize_mic_amp(
@@ -280,7 +519,8 @@ class CharacterizationService:
             mode=kwargs["mode"], robust=kwargs["robust"],
             executor=(self._campaign_executor()
                       if self.pool_workers > 1 else None),
-            store=self.store, progress=progress,
+            store=self._active_store(),
+            progress=self._deadline_progress(job, update),
         )
         job.result = result
         self.metrics.incr("optimize_evaluations", result.n_evaluations)
@@ -292,14 +532,15 @@ class CharacterizationService:
         """The job's ``CampaignResult``, reconstructed from the store if
         this process never ran it (journal-restored jobs)."""
         if job.result is None:
-            if self.store is None:
+            store = self._active_store()
+            if store is None:
                 raise LookupError(
-                    f"job {job.id}: result not in memory and no store "
-                    "attached to recover it from")
+                    f"job {job.id}: result not in memory and no healthy "
+                    "store attached to recover it from")
             from repro.campaign import run_campaign
 
             spec = campaign_spec_from_dict(job.payload)
-            job.result = run_campaign(spec, store=self.store)
+            job.result = run_campaign(spec, store=store)
         return job.result
 
     def result_text(self, job: J.Job) -> str:
@@ -358,12 +599,20 @@ class CharacterizationService:
     # Introspection
     # ------------------------------------------------------------------
     def health(self) -> dict:
+        with self._worker_lock:
+            workers_alive = sum(t.is_alive() for t in self._threads)
+            hung = sum(t.is_alive() for t in self._hung_threads)
+        degraded = bool(self.store_degraded or hung or self._stragglers)
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "workers": self._n_workers,
+            "workers_alive": workers_alive,
+            "hung_workers": hung,
+            "stragglers": list(self._stragglers),
             "queue_depth": self.queue.depth(),
             "jobs": len(self.queue),
             "store": None if self.store is None else str(self.store.root),
+            "store_degraded": self.store_degraded,
         }
 
     def metrics_snapshot(self) -> dict:
@@ -371,4 +620,7 @@ class CharacterizationService:
             "counters": self.metrics.snapshot(),
             "queue_depth": self.queue.depth(),
             "jobs": len(self.queue),
+            "journal_recovered": self.queue.journal_recovered,
+            "journal_corrupt": self.queue.journal_corrupt,
+            "store_degraded": self.store_degraded,
         }

@@ -22,10 +22,26 @@ bit-identical to the one that was written — the foundation of the
 "warm rerun is byte-identical" contract that
 ``benchmarks/bench_store.py`` enforces.  Non-finite values are wrapped
 in ``{"$nf": ...}`` tokens to keep every payload strict JSON.
+
+Two defensive layers keep a damaged store from lying or crashing:
+
+* every index row carries the **SHA-256 of the payload bytes**; reads
+  verify it, and a corrupt or truncated payload is **quarantined**
+  (moved to ``<root>/quarantine/``) and reported as a miss, so the
+  caller transparently recomputes instead of serving garbage;
+* every index access runs under :meth:`ResultStore._index_retry` —
+  bounded exponential backoff over transient
+  ``sqlite3.OperationalError`` (locked database), so a burst of writers
+  degrades to latency, not tracebacks.
+
+Both paths are exercised deterministically through the
+``store.payload_read`` / ``store.index`` fault points
+(:mod:`repro.faults`) by ``tests/faults/test_store_faults.py``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import math
@@ -34,6 +50,8 @@ import pathlib
 import sqlite3
 import threading
 import time
+
+from repro.faults.harness import fault_point
 
 #: Environment variable naming the default store root for the CLI.
 STORE_ENV = "REPRO_STORE"
@@ -106,11 +124,23 @@ class ResultStore:
     reconnect on first use.
     """
 
-    def __init__(self, root) -> None:
+    #: Bounded backoff over transient sqlite errors (locked database):
+    #: attempts and the initial delay, doubled per retry.
+    INDEX_RETRIES = 5
+    INDEX_BACKOFF_S = 0.05
+
+    def __init__(self, root, index_retries: int | None = None,
+                 index_backoff_s: float | None = None) -> None:
         self.root = pathlib.Path(root)
         self.objects = self.root / "objects"
         self.objects.mkdir(parents=True, exist_ok=True)
+        self.index_retries = (self.INDEX_RETRIES if index_retries is None
+                              else index_retries)
+        self.index_backoff_s = (self.INDEX_BACKOFF_S if index_backoff_s is None
+                                else index_backoff_s)
         self._local = threading.local()
+        self._counter_lock = threading.Lock()
+        self._counters: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Connection / schema
@@ -128,13 +158,54 @@ class ResultStore:
                     " path TEXT NOT NULL,"
                     " nbytes INTEGER NOT NULL,"
                     " created_at REAL NOT NULL,"
-                    " meta TEXT NOT NULL DEFAULT '{}')"
+                    " meta TEXT NOT NULL DEFAULT '{}',"
+                    " sha256 TEXT NOT NULL DEFAULT '')"
                 )
                 conn.execute(
                     "CREATE INDEX IF NOT EXISTS entries_kind ON entries(kind)"
                 )
+                # Stores written before payload hashing gain the column
+                # in place; their rows keep an empty hash, which skips
+                # verification (JSON decoding still guards them).
+                cols = {row[1] for row in
+                        conn.execute("PRAGMA table_info(entries)")}
+                if "sha256" not in cols:
+                    conn.execute("ALTER TABLE entries "
+                                 "ADD COLUMN sha256 TEXT NOT NULL DEFAULT ''")
             self._local.conn = conn
         return conn
+
+    # ------------------------------------------------------------------
+    # Fault accounting / retry
+    # ------------------------------------------------------------------
+    def _count(self, name: str, by: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def fault_stats(self) -> dict[str, int]:
+        """Per-instance defect counters: ``quarantined`` (corrupt
+        payloads moved aside), ``read_errors`` (payloads unreadable this
+        attempt), ``index_retries`` (transient sqlite errors absorbed)."""
+        with self._counter_lock:
+            return dict(sorted(self._counters.items()))
+
+    def _index_retry(self, fn, op: str):
+        """Run one index access with bounded backoff over transient
+        ``sqlite3.OperationalError`` (a locked database under writer
+        bursts).  The last attempt re-raises: a persistently unavailable
+        index is the caller's degradation decision, not ours."""
+        delay = self.index_backoff_s
+        for attempt in range(self.index_retries):
+            try:
+                fault_point("store.index", op=op, attempt=attempt)
+                return fn()
+            except sqlite3.OperationalError:
+                self._count("index_retries")
+                if attempt == self.index_retries - 1:
+                    raise
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
         """Close the *calling thread's* connection (other threads'
@@ -148,11 +219,13 @@ class ResultStore:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_local"] = None
+        state["_counter_lock"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
         self._local = threading.local()
+        self._counter_lock = threading.Lock()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -166,9 +239,9 @@ class ResultStore:
     def _object_path(self, key: str) -> pathlib.Path:
         return self.objects / key[:2] / f"{key}.json"
 
-    def _stage_payload(self, key: str, record) -> tuple[str, int]:
+    def _stage_payload(self, key: str, record) -> tuple[str, int, str]:
         """Atomically materialise one payload file; returns its
-        root-relative path and byte size."""
+        root-relative path, byte size and content hash."""
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(_encode(record), allow_nan=False,
@@ -176,7 +249,8 @@ class ResultStore:
         tmp = path.parent / f".{key}.{os.getpid()}.{next(_tmp_counter)}.tmp"
         tmp.write_text(text)
         os.replace(tmp, path)
-        return str(path.relative_to(self.root)), len(text)
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return str(path.relative_to(self.root)), len(text), sha
 
     def put(self, key: str, record, kind: str = "record",
             meta: dict | None = None) -> None:
@@ -195,55 +269,121 @@ class ResultStore:
         rows = []
         now = time.time()
         for key, record, kind, meta in items:
-            rel, nbytes = self._stage_payload(key, record)
+            rel, nbytes, sha = self._stage_payload(key, record)
             rows.append((key, kind, rel, nbytes, now,
-                         json.dumps(meta or {}, sort_keys=True)))
+                         json.dumps(meta or {}, sort_keys=True), sha))
         if not rows:
             return
-        with self.conn as conn:
-            conn.executemany(
-                "INSERT OR REPLACE INTO entries "
-                "(key, kind, path, nbytes, created_at, meta) "
-                "VALUES (?, ?, ?, ?, ?, ?)", rows,
-            )
 
-    def get(self, key: str):
-        """The record under ``key``, or ``None``.  An index row whose
-        payload file has vanished is treated as a miss and dropped."""
-        row = self.conn.execute(
-            "SELECT path FROM entries WHERE key = ?", (key,)
-        ).fetchone()
-        if row is None:
-            return None
-        try:
-            text = (self.root / row[0]).read_text()
-        except FileNotFoundError:
+        def _commit():
+            with self.conn as conn:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO entries "
+                    "(key, kind, path, nbytes, created_at, meta, sha256) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)", rows,
+                )
+        self._index_retry(_commit, "write")
+
+    # ------------------------------------------------------------------
+    # Verified payload reads
+    # ------------------------------------------------------------------
+    def _drop_row(self, key: str) -> None:
+        def _delete():
             with self.conn as conn:
                 conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        self._index_retry(_delete, "write")
+
+    def _quarantine(self, key: str, rel: str, reason: str) -> None:
+        """Move a corrupt payload out of the object tree (keeping the
+        evidence) and drop its index row, so the key reads as a miss and
+        the caller recomputes."""
+        path = self.root / rel
+        qdir = self.root / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        try:
+            os.replace(path, qdir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+        self._drop_row(key)
+        self._count("quarantined")
+
+    def _load_payload(self, key: str, rel: str, sha: str):
+        """Read + verify one payload; ``None`` means "treat as a miss".
+
+        A vanished file drops the (dangling) row; an I/O error counts as
+        transiently unreadable and leaves the row for a later attempt; a
+        hash mismatch or truncated/garbled JSON quarantines the file —
+        corruption must never crash the reader *or* silently serve a
+        wrong record.
+        """
+        try:
+            fault_point("store.payload_read", key=key)
+            text = (self.root / rel).read_text()
+        except FileNotFoundError:
+            self._drop_row(key)
             return None
-        return _decode(json.loads(text))
+        except OSError:
+            self._count("read_errors")
+            return None
+        if sha and hashlib.sha256(text.encode("utf-8")).hexdigest() != sha:
+            self._quarantine(key, rel, "sha256 mismatch")
+            return None
+        try:
+            return _decode(json.loads(text))
+        except json.JSONDecodeError:
+            self._quarantine(key, rel, "invalid JSON")
+            return None
+
+    def get(self, key: str):
+        """The record under ``key``, or ``None``.  Dangling, unreadable
+        and corrupt entries all read as misses (see
+        :meth:`_load_payload`)."""
+        row = self._index_retry(
+            lambda: self.conn.execute(
+                "SELECT path, sha256 FROM entries WHERE key = ?", (key,)
+            ).fetchone(), "read")
+        if row is None:
+            return None
+        return self._load_payload(key, row[0], row[1])
 
     def get_many(self, keys) -> dict:
-        """``{key: record}`` for every present key (one query per 500)."""
+        """``{key: record}`` for every present, intact key (one query
+        per 500; corrupt payloads quarantined and skipped)."""
         keys = list(keys)
         out: dict = {}
         for i in range(0, len(keys), 500):
             batch = keys[i:i + 500]
             marks = ",".join("?" * len(batch))
-            rows = self.conn.execute(
-                f"SELECT key, path FROM entries WHERE key IN ({marks})",
-                batch,
-            ).fetchall()
-            for key, rel in rows:
-                try:
-                    text = (self.root / rel).read_text()
-                except FileNotFoundError:
-                    with self.conn as conn:
-                        conn.execute("DELETE FROM entries WHERE key = ?",
-                                     (key,))
-                    continue
-                out[key] = _decode(json.loads(text))
+            rows = self._index_retry(
+                lambda b=batch, m=marks: self.conn.execute(
+                    f"SELECT key, path, sha256 FROM entries "
+                    f"WHERE key IN ({m})", b,
+                ).fetchall(), "read")
+            for key, rel, sha in rows:
+                record = self._load_payload(key, rel, sha)
+                if record is not None:
+                    out[key] = record
         return out
+
+    def verify(self) -> dict:
+        """Read-verify every payload against its stored hash, moving
+        corrupt ones to quarantine.  Returns ``{checked, intact,
+        quarantined, missing}`` (`repro store verify`)."""
+        rows = self._index_retry(
+            lambda: self.conn.execute(
+                "SELECT key, path, sha256 FROM entries").fetchall(), "read")
+        before = self.fault_stats().get("quarantined", 0)
+        intact = 0
+        for key, rel, sha in rows:
+            if self._load_payload(key, rel, sha) is not None:
+                intact += 1
+        quarantined = self.fault_stats().get("quarantined", 0) - before
+        return {
+            "checked": len(rows),
+            "intact": intact,
+            "quarantined": quarantined,
+            "missing": len(rows) - intact - quarantined,
+        }
 
     def contains_many(self, keys) -> set:
         """The subset of ``keys`` present in the index, without reading
@@ -261,24 +401,27 @@ class ResultStore:
         for i in range(0, len(keys), 500):
             batch = keys[i:i + 500]
             marks = ",".join("?" * len(batch))
-            rows = self.conn.execute(
-                f"SELECT key FROM entries WHERE key IN ({marks})", batch,
-            ).fetchall()
+            rows = self._index_retry(
+                lambda b=batch, m=marks: self.conn.execute(
+                    f"SELECT key FROM entries WHERE key IN ({m})", b,
+                ).fetchall(), "read")
             out.update(key for (key,) in rows)
         return out
 
     def contains(self, key: str) -> bool:
-        row = self.conn.execute(
-            "SELECT 1 FROM entries WHERE key = ?", (key,)
-        ).fetchone()
+        row = self._index_retry(
+            lambda: self.conn.execute(
+                "SELECT 1 FROM entries WHERE key = ?", (key,)
+            ).fetchone(), "read")
         return row is not None
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
 
     def __len__(self) -> int:
-        return int(self.conn.execute(
-            "SELECT COUNT(*) FROM entries").fetchone()[0])
+        return int(self._index_retry(
+            lambda: self.conn.execute(
+                "SELECT COUNT(*) FROM entries").fetchone(), "read")[0])
 
     # ------------------------------------------------------------------
     # Introspection / maintenance
@@ -290,7 +433,9 @@ class ResultStore:
                + ("WHERE kind = ? " if kind else "")
                + "ORDER BY created_at DESC, key")
         args = (kind,) if kind else ()
-        for key, k, nbytes, created, meta in self.conn.execute(sql, args):
+        rows = self._index_retry(
+            lambda: self.conn.execute(sql, args).fetchall(), "read")
+        for key, k, nbytes, created, meta in rows:
             yield key, k, nbytes, created, json.loads(meta)
 
     def keys(self, kind: str | None = None) -> list[str]:
@@ -299,10 +444,12 @@ class ResultStore:
     def stat(self) -> dict:
         """Aggregate counts and bytes, overall and per kind."""
         kinds: dict[str, dict] = {}
-        for kind, count, nbytes in self.conn.execute(
-            "SELECT kind, COUNT(*), COALESCE(SUM(nbytes), 0) "
-            "FROM entries GROUP BY kind ORDER BY kind"
-        ):
+        rows = self._index_retry(
+            lambda: self.conn.execute(
+                "SELECT kind, COUNT(*), COALESCE(SUM(nbytes), 0) "
+                "FROM entries GROUP BY kind ORDER BY kind").fetchall(),
+            "read")
+        for kind, count, nbytes in rows:
             kinds[kind] = {"entries": int(count), "bytes": int(nbytes)}
         return {
             "root": str(self.root),
@@ -324,14 +471,18 @@ class ResultStore:
         older that gc removes is either unreachable or the leftover of
         an interrupted write.
         """
-        removed_rows = 0
-        with self.conn as conn:
-            for (key, rel) in conn.execute(
-                "SELECT key, path FROM entries"
-            ).fetchall():
-                if not (self.root / rel).exists():
-                    conn.execute("DELETE FROM entries WHERE key = ?", (key,))
-                    removed_rows += 1
+        def _drop_dangling() -> int:
+            removed = 0
+            with self.conn as conn:
+                for (key, rel) in conn.execute(
+                    "SELECT key, path FROM entries"
+                ).fetchall():
+                    if not (self.root / rel).exists():
+                        conn.execute("DELETE FROM entries WHERE key = ?",
+                                     (key,))
+                        removed += 1
+            return removed
+        removed_rows = self._index_retry(_drop_dangling, "write")
         # File walk first, index snapshot second: a payload replaced and
         # committed between the two shows up in `indexed` and is kept.
         candidates = []
@@ -345,8 +496,9 @@ class ResultStore:
             except FileNotFoundError:
                 continue
             candidates.append(path)
-        indexed = {rel for (rel,) in self.conn.execute(
-            "SELECT path FROM entries")}
+        indexed = {rel for (rel,) in self._index_retry(
+            lambda: self.conn.execute(
+                "SELECT path FROM entries").fetchall(), "read")}
         removed_files = 0
         for path in candidates:
             if str(path.relative_to(self.root)) not in indexed:

@@ -1,0 +1,12 @@
+"""Chaos-suite hygiene: no test may leak an armed fault plan."""
+
+import pytest
+
+from repro.faults import active_plan, deactivate
+
+
+@pytest.fixture(autouse=True)
+def disarm_after_test():
+    assert active_plan() is None, "a previous test leaked an armed plan"
+    yield
+    deactivate()

@@ -1,0 +1,87 @@
+"""Process-pool chaos: killed workers, broken pools, exhausted retries.
+
+The kill rules use ``os._exit`` inside forked pool workers — a real
+SIGKILL-grade death, not an exception — keyed off the deterministic
+``attempt`` payload so the same chunks die on the same dispatch every
+run.  Recovery must re-execute only the lost chunks and still match the
+serial executor byte for byte.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CampaignExecutionError,
+    CampaignSpec,
+    ProcessPoolCampaignExecutor,
+    run_campaign,
+)
+from repro.faults import FaultPlan, FaultRule
+from repro.store import ResultStore
+
+SPEC = CampaignSpec(builder="bias", corners=("tt", "ss"),
+                    temps_c=(25.0, 85.0), measurements=("bias_current_ua",))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_campaign(SPEC)
+
+
+class TestWorkerDeath:
+    def test_killed_workers_recover_byte_identical(self, reference):
+        # every chunk's first dispatch dies; the retry (attempt 1) runs
+        plan = FaultPlan([FaultRule("campaign.pool_chunk", kill=True,
+                                    when=lambda ctx: ctx["attempt"] == 0)])
+        executor = ProcessPoolCampaignExecutor(max_workers=2)
+        with plan.activate():
+            result = run_campaign(SPEC, executor=executor, chunk_size=1)
+        assert executor.restarts >= 1
+        assert result.data.tobytes() == reference.data.tobytes()
+        assert result.to_json() == reference.to_json()
+
+    def test_partial_death_reexecutes_only_lost_chunks(self, reference,
+                                                       tmp_path):
+        # only the first chunk's first dispatch dies; with a store
+        # attached, the merged result proves per-chunk recovery did not
+        # disturb ordering or values
+        plan = FaultPlan([FaultRule(
+            "campaign.pool_chunk", kill=True,
+            when=lambda ctx: ctx["attempt"] == 0, times=1)])
+        store = ResultStore(tmp_path / "s")
+        with plan.activate():
+            result = run_campaign(
+                SPEC, executor=ProcessPoolCampaignExecutor(max_workers=2),
+                chunk_size=1, store=store)
+        assert result.data.tobytes() == reference.data.tobytes()
+        assert len(store) == SPEC.n_units
+        warm = run_campaign(SPEC, store=store)
+        assert warm.store_stats["reused_units"] == SPEC.n_units
+        assert warm.data.tobytes() == reference.data.tobytes()
+
+    def test_exhausted_retries_name_the_lost_units(self):
+        # every dispatch dies, every attempt: the run must fail with a
+        # structured error listing exactly the units that have no records
+        plan = FaultPlan([FaultRule("campaign.pool_chunk", kill=True)])
+        executor = ProcessPoolCampaignExecutor(max_workers=2, max_attempts=2)
+        with plan.activate():
+            with pytest.raises(CampaignExecutionError) as excinfo:
+                run_campaign(SPEC, executor=executor, chunk_size=2)
+        lost = excinfo.value.units
+        assert sorted(u.index for u in lost) == \
+            sorted(u.index for u in SPEC.expand())
+        assert "after 2 attempts" in str(excinfo.value)
+
+    def test_max_attempts_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ProcessPoolCampaignExecutor(max_attempts=0)
+
+    def test_in_worker_exception_propagates_without_retry(self):
+        # a deterministic *exception* in a healthy worker is a bug, not
+        # a lost worker: it must surface unchanged, with no pool rebuild
+        plan = FaultPlan([FaultRule("campaign.pool_chunk",
+                                    raises=ValueError, times=1)])
+        executor = ProcessPoolCampaignExecutor(max_workers=2)
+        with plan.activate():
+            with pytest.raises(ValueError, match="injected fault"):
+                run_campaign(SPEC, executor=executor, chunk_size=2)
+        assert executor.restarts == 0

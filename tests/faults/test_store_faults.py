@@ -1,0 +1,186 @@
+"""Store hardening under attack: corruption, truncation, locked index.
+
+Everything is driven through the public APIs (``run_campaign`` with a
+store, ``ResultStore.get/verify``) and every recovery is checked for the
+byte-identity contract: a store that lied, lost files or locked up must
+still produce exactly the bytes of a fault-free run.
+"""
+
+import sqlite3
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.faults import FaultPlan, FaultRule
+from repro.store import ResultStore
+
+SPEC = CampaignSpec(builder="bias", corners=("tt", "ss"),
+                    temps_c=(25.0, 85.0), measurements=("bias_current_ua",))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_campaign(SPEC)
+
+
+def _first_payload(store: ResultStore):
+    key = store.keys()[0]
+    return key, store._object_path(key)
+
+
+class TestPayloadCorruption:
+    def test_corrupt_payload_quarantined_and_recomputed(self, tmp_path,
+                                                        reference):
+        store = ResultStore(tmp_path / "s")
+        run_campaign(SPEC, store=store)
+        key, path = _first_payload(store)
+        path.write_text('{"bias_current_ua": 999.0}')   # valid JSON, wrong bytes
+
+        again = run_campaign(SPEC, store=ResultStore(tmp_path / "s"))
+        assert again.data.tobytes() == reference.data.tobytes()
+        assert again.store_stats["executed_units"] == 1    # only the bad one
+        assert again.store_stats["reused_units"] == SPEC.n_units - 1
+        # evidence preserved, key healed on the recompute
+        assert list((tmp_path / "s" / "quarantine").iterdir())
+        assert ResultStore(tmp_path / "s").get(key) is not None
+
+    def test_truncated_payload_reads_as_miss(self, tmp_path, reference):
+        store = ResultStore(tmp_path / "s")
+        run_campaign(SPEC, store=store)
+        key, path = _first_payload(store)
+        path.write_text(path.read_text()[:7])             # torn mid-write
+
+        fresh = ResultStore(tmp_path / "s")
+        assert fresh.get(key) is None
+        assert fresh.fault_stats()["quarantined"] == 1
+        again = run_campaign(SPEC, store=fresh)
+        assert again.data.tobytes() == reference.data.tobytes()
+
+    def test_vanished_payload_drops_dangling_row(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        run_campaign(SPEC, store=store)
+        key, path = _first_payload(store)
+        path.unlink()
+        n = len(store)
+        assert store.get(key) is None
+        assert len(store) == n - 1                        # row self-healed
+
+    def test_injected_read_error_is_transient_not_fatal(self, tmp_path,
+                                                        reference):
+        store = ResultStore(tmp_path / "s")
+        run_campaign(SPEC, store=store)
+        plan = FaultPlan([FaultRule("store.payload_read", raises=OSError,
+                                    times=SPEC.n_units)])
+        with plan.activate():
+            hurt = run_campaign(SPEC, store=store)        # every read fails
+        assert hurt.store_stats["reused_units"] == 0
+        assert hurt.data.tobytes() == reference.data.tobytes()
+        assert store.fault_stats()["read_errors"] == SPEC.n_units
+        # nothing was quarantined — the files are fine, the reads failed
+        assert "quarantined" not in store.fault_stats()
+        warm = run_campaign(SPEC, store=store)
+        assert warm.store_stats["reused_units"] == SPEC.n_units
+
+
+class TestIndexRetry:
+    def test_transient_locked_index_is_absorbed(self, tmp_path, reference):
+        store = ResultStore(tmp_path / "s", index_backoff_s=0.001)
+        locked = sqlite3.OperationalError("database is locked")
+        plan = FaultPlan([FaultRule("store.index", raises=locked, times=2)])
+        with plan.activate():
+            result = run_campaign(SPEC, store=store)
+        assert result.data.tobytes() == reference.data.tobytes()
+        assert result.store_stats["store_errors"] == 0     # retries hid it
+        assert store.fault_stats()["index_retries"] == 2
+        assert len(store) == SPEC.n_units
+
+    def test_persistently_locked_index_degrades_the_run(self, tmp_path,
+                                                        reference):
+        store = ResultStore(tmp_path / "s", index_retries=2,
+                            index_backoff_s=0.001)
+        locked = sqlite3.OperationalError("database is locked")
+        with FaultPlan([FaultRule("store.index", raises=locked)]).activate():
+            result = run_campaign(SPEC, store=store)
+        # engine-only degradation: full recompute, correct bytes, flagged
+        assert result.data.tobytes() == reference.data.tobytes()
+        assert result.store_stats["executed_units"] == SPEC.n_units
+        assert result.store_stats["store_errors"] == 2     # read + write-back
+
+
+class TestVerify:
+    def test_verify_reports_and_quarantines(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        run_campaign(SPEC, store=store)
+        healthy = store.verify()
+        assert healthy == {"checked": SPEC.n_units, "intact": SPEC.n_units,
+                           "quarantined": 0, "missing": 0}
+
+        key, path = _first_payload(store)
+        path.write_text("garbage")
+        _key2 = store.keys()[1]
+        store._object_path(_key2).unlink()
+
+        report = ResultStore(tmp_path / "s").verify()
+        assert report["checked"] == SPEC.n_units
+        assert report["intact"] == SPEC.n_units - 2
+        assert report["quarantined"] == 1
+        assert report["missing"] == 1
+
+    def test_cli_store_verify_exit_codes(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        run_campaign(SPEC, store=store)
+        _key, path = _first_payload(store)
+        path.write_text("garbage")
+
+        script = ("import sys; from repro.cli import main; "
+                  "sys.exit(main(sys.argv[1:]))")
+        bad = subprocess.run(
+            [sys.executable, "-c", script, "store", "verify",
+             "--store", str(tmp_path / "s")],
+            capture_output=True, text=True)
+        assert bad.returncode == 1
+        assert "1 quarantined" in bad.stdout
+
+        # the sweep removed the corruption; a second pass is clean
+        good = subprocess.run(
+            [sys.executable, "-c", script, "store", "verify",
+             "--store", str(tmp_path / "s")],
+            capture_output=True, text=True)
+        assert good.returncode == 0
+        assert f"{SPEC.n_units - 1} checked" in good.stdout
+
+
+class TestLegacySchema:
+    def test_pre_hash_store_is_migrated_in_place(self, tmp_path):
+        root = tmp_path / "old"
+        root.mkdir()
+        conn = sqlite3.connect(str(root / "index.db"))
+        with conn:
+            conn.execute(
+                "CREATE TABLE entries ("
+                " key TEXT PRIMARY KEY, kind TEXT NOT NULL,"
+                " path TEXT NOT NULL, nbytes INTEGER NOT NULL,"
+                " created_at REAL NOT NULL,"
+                " meta TEXT NOT NULL DEFAULT '{}')")
+        conn.close()
+
+        store = ResultStore(root)
+        store.put("k1", {"x": 1.5})
+        assert store.get("k1") == {"x": 1.5}
+        cols = {row[1] for row in
+                store.conn.execute("PRAGMA table_info(entries)")}
+        assert "sha256" in cols
+
+    def test_legacy_rows_without_hash_still_guarded_by_json(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put("k1", {"x": 1.5})
+        with store.conn as conn:                  # simulate a legacy row
+            conn.execute("UPDATE entries SET sha256 = ''")
+        assert ResultStore(tmp_path / "s").get("k1") == {"x": 1.5}
+
+        store._object_path("k1").write_text("{torn")
+        fresh = ResultStore(tmp_path / "s")
+        assert fresh.get("k1") is None            # JSON guard still fires
+        assert fresh.fault_stats()["quarantined"] == 1

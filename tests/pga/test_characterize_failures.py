@@ -1,0 +1,48 @@
+"""Failure-classification regression for the minimum-supply search.
+
+``gain_holds_at_supply`` historically swallowed *every* exception as
+"the circuit does not operate at this supply", so an infrastructure
+fault (OOM, a typo-level ``TypeError``) silently skewed the reported
+``supply_min_v`` threshold.  It now catches exactly the numeric
+failure taxonomy (:data:`repro.faults.NUMERIC_FAILURES`) and lets
+everything else propagate.
+"""
+
+import pytest
+
+from repro.faults import NUMERIC_FAILURES
+from repro.pga import characterize as C
+from repro.spice.dc import ConvergenceError
+
+
+class TestGainHoldsAtSupply:
+    def _patch_build(self, monkeypatch, exc: BaseException):
+        def explode(*args, **kwargs):
+            raise exc
+        monkeypatch.setattr(C, "build_mic_amp", explode)
+
+    @pytest.mark.parametrize("exc", [
+        ConvergenceError("no operating point"),
+        ValueError("math domain error"),
+        ZeroDivisionError("division by zero"),      # ArithmeticError
+    ])
+    def test_numeric_failures_mean_does_not_operate(self, monkeypatch, exc):
+        assert isinstance(exc, NUMERIC_FAILURES)
+        self._patch_build(monkeypatch, exc)
+        tech = object()                             # never reached past build
+        assert C.gain_holds_at_supply(tech, 2.0, 32.0) is False
+
+    @pytest.mark.parametrize("exc", [
+        MemoryError(),
+        OSError("disk I/O error"),
+        TypeError("build_mic_amp() got an unexpected keyword argument"),
+    ])
+    def test_infrastructure_failures_propagate(self, monkeypatch, exc):
+        assert not isinstance(exc, NUMERIC_FAILURES)
+        self._patch_build(monkeypatch, exc)
+        with pytest.raises(type(exc)):
+            C.gain_holds_at_supply(object(), 2.0, 32.0)
+
+    def test_real_probe_still_works(self, tech):
+        # at a generous supply the 40 dB setting holds its nominal gain
+        assert C.gain_holds_at_supply(tech, 3.0, 32.0, tol_db=60.0) is True

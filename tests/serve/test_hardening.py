@@ -1,0 +1,160 @@
+"""Serve-stack hardening satellites: client transport retries, the
+HTTP handler's last-resort guard, and journal-aware retention.
+
+The chaos scenarios proper (timeouts, watchdog, degradation, journal
+torture) live in ``tests/faults/test_serve_faults.py``; these tests pin
+the smaller robustness knobs that need no fault injection.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import CharacterizationService, ServeClient, ServeError
+from repro.serve import jobs as J
+from repro.serve.api import serve_background
+
+
+class FlappingServer:
+    """A raw TCP listener that slams the first ``flaps`` connections
+    shut before speaking, then answers every request with a canned
+    health document — the shape of a service mid-restart."""
+
+    BODY = b'{"status": "ok"}\n'
+    RESPONSE = (b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(BODY)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + BODY)
+
+    def __init__(self, flaps: int) -> None:
+        self.flaps = flaps
+        self.connections = 0
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            if self.connections <= self.flaps:
+                conn.close()                       # connection reset
+                continue
+            try:
+                conn.recv(65536)                   # drain the request
+                conn.sendall(self.RESPONSE)
+            finally:
+                conn.close()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class TestClientRetries:
+    def test_get_rides_through_flapping_connections(self):
+        server = FlappingServer(flaps=2)
+        try:
+            client = ServeClient(f"http://127.0.0.1:{server.port}",
+                                 retries=4, backoff=0.01)
+            assert client.health() == {"status": "ok"}
+            assert server.connections == 3         # 2 resets + 1 success
+        finally:
+            server.close()
+
+    def test_retries_zero_disables_the_ride_through(self):
+        server = FlappingServer(flaps=1)
+        try:
+            client = ServeClient(f"http://127.0.0.1:{server.port}",
+                                 retries=0)
+            with pytest.raises(ServeError) as excinfo:
+                client.health()
+            assert excinfo.value.status == 0
+            assert server.connections == 1         # exactly one attempt
+        finally:
+            server.close()
+
+    def test_exhausted_retries_surface_the_transport_error(self):
+        server = FlappingServer(flaps=100)
+        try:
+            client = ServeClient(f"http://127.0.0.1:{server.port}",
+                                 retries=2, backoff=0.01)
+            with pytest.raises(ServeError) as excinfo:
+                client.metrics()
+            assert excinfo.value.status == 0
+            assert server.connections == 3         # 1 try + 2 retries
+        finally:
+            server.close()
+
+    def test_posts_are_never_retried(self):
+        server = FlappingServer(flaps=100)
+        try:
+            client = ServeClient(f"http://127.0.0.1:{server.port}",
+                                 retries=4, backoff=0.01)
+            with pytest.raises(ServeError):
+                client.submit("campaign", {"builder": "bias"})
+            assert server.connections == 1         # not idempotent: one shot
+        finally:
+            server.close()
+
+    def test_http_errors_are_not_transport_errors(self):
+        """A real HTTP 404 must not be retried — the server answered."""
+        service = CharacterizationService(workers=1, watchdog_interval=0)
+        server, _thread = serve_background(service)
+        try:
+            port = server.server_address[1]
+            client = ServeClient(f"http://127.0.0.1:{port}",
+                                 retries=3, backoff=0.01)
+            before = service.metrics.get("http_requests")
+            with pytest.raises(ServeError) as excinfo:
+                client.job("nonexistent0")
+            assert excinfo.value.status == 404
+            assert service.metrics.get("http_requests") == before + 1
+        finally:
+            server.shutdown()
+            service.stop()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            ServeClient("http://127.0.0.1:1", retries=-1)
+
+
+class TestRetentionWithJournal:
+    def test_constructor_restore_respects_the_cap(self, tmp_path):
+        """A journal holding more terminal jobs than ``max_jobs`` must
+        evict down to the cap at restore time, oldest first."""
+        q = J.JobQueue(journal_dir=tmp_path, max_jobs=10)
+        for i in range(5):
+            job = J.Job(id=f"job{i:09d}", kind="campaign", payload={},
+                        fingerprint=f"fp{i}", state=J.DONE)
+            job.created_at = job.finished_at = 1000.0 + i
+            q.register(job)
+        assert len(q) == 5
+
+        restored = J.JobQueue(journal_dir=tmp_path, max_jobs=2)
+        assert len(restored) == 2
+        assert restored.get("job000000004") is not None   # newest kept
+        assert restored.get("job000000000") is None       # oldest gone
+        # eviction also pruned the journal files themselves
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_pending_jobs_survive_cap_pressure_at_restore(self, tmp_path):
+        q = J.JobQueue(journal_dir=tmp_path, max_jobs=10)
+        done = J.Job(id="done00000000", kind="campaign", payload={},
+                     fingerprint="fp-done", state=J.DONE)
+        done.created_at = done.finished_at = 1000.0
+        q.register(done)
+        live = J.Job(id="live00000000", kind="campaign", payload={},
+                     fingerprint="fp-live")
+        live.created_at = 1001.0
+        q.submit(live)
+
+        restored = J.JobQueue(journal_dir=tmp_path, max_jobs=1)
+        # the cap evicts the terminal job, never the restorable work
+        assert restored.get("live00000000") is not None
+        assert restored.get("done00000000") is None
+        assert restored.depth() == 1

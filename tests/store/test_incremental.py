@@ -37,7 +37,7 @@ class TestIncrementalExecution:
         cold = run_campaign(micamp_spec, store=store)
         assert cold.store_stats == {
             "reused_units": 0, "executed_units": micamp_spec.n_units,
-            "store_root": str(store.root),
+            "store_root": str(store.root), "store_errors": 0,
         }
         assert cold.data.tobytes() == plain_result.data.tobytes()
         assert len(store) == micamp_spec.n_units

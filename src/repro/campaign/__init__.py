@@ -32,8 +32,10 @@ Quickstart::
 command line; ``benchmarks/bench_campaign.py`` tracks its throughput.
 """
 
+from repro.campaign.batchrun import run_chunk_batched
 from repro.campaign.builders import BUILDERS, BuiltUnit, register_builder
 from repro.campaign.executors import (
+    BatchedCampaignExecutor,
     CampaignExecutionError,
     ProcessPoolCampaignExecutor,
     SerialExecutor,
@@ -46,6 +48,7 @@ from repro.campaign.spec import CampaignSpec, WorkUnit, mc_seeds
 __all__ = [
     "AXIS_COLUMNS",
     "BUILDERS",
+    "BatchedCampaignExecutor",
     "BuiltUnit",
     "CampaignExecutionError",
     "CampaignResult",
@@ -59,4 +62,5 @@ __all__ = [
     "register_builder",
     "register_measurement",
     "run_campaign",
+    "run_chunk_batched",
 ]

@@ -31,7 +31,7 @@ import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from typing import Iterator
 
-from repro.campaign.runner import run_chunk
+from repro.campaign.runner import ChunkCache, run_chunk, worker_chunk_cache
 from repro.campaign.spec import CampaignSpec, WorkUnit
 from repro.faults.harness import fault_point
 
@@ -65,6 +65,52 @@ class SerialExecutor:
             yield run_chunk(spec, chunk)
 
 
+class BatchedCampaignExecutor:
+    """Run chunks in-process through the tensor engine.
+
+    Identical records to :class:`SerialExecutor` (byte-for-byte — the
+    equivalence suite pins it), roughly an order of magnitude faster on
+    mismatch campaigns: structure-sharing units are stamped into one
+    ``(N, dim, dim)`` tensor, DC-solved by a lockstep Newton iteration
+    and measured through unit-batched factorizations.  ``stats``
+    accumulates ``batched_units``/``fallback_units`` across chunks so
+    callers (and the chaos tests) can see how much work actually rode
+    the tensor path.
+    """
+
+    name = "batched"
+
+    def __init__(self, batch_size: int | None = None) -> None:
+        from repro.campaign.batchrun import DEFAULT_BATCH_SIZE
+
+        self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+        self.stats: dict[str, int] = {}
+
+    def default_chunk_size(self, spec: CampaignSpec) -> int:
+        # One chunk, like serial: grouping happens inside the chunk.
+        return max(1, spec.n_units)
+
+    def map_chunks(self, spec: CampaignSpec,
+                   chunks: list[list[WorkUnit]]) -> Iterator[list[dict]]:
+        from repro.campaign.batchrun import run_chunk_batched
+
+        cache = ChunkCache(spec)
+        for chunk in chunks:
+            yield run_chunk_batched(spec, chunk, cache=cache,
+                                    batch_size=self.batch_size,
+                                    stats=self.stats)
+
+
+def _warm_worker(spec: CampaignSpec) -> None:
+    """Pool-worker initializer: build the per-process chunk cache and
+    every corner technology once, before the first chunk message lands.
+    Workers then start warm — the skew arithmetic and cache setup are
+    paid per *worker*, not per chunk."""
+    cache = worker_chunk_cache(spec)
+    for corner in spec.corners:
+        cache.tech(corner)
+
+
 def _run_chunk_task(spec: CampaignSpec, chunk: list[WorkUnit],
                     attempt: int) -> list[dict]:
     """The picklable message the pool ships to workers.  ``attempt``
@@ -73,7 +119,7 @@ def _run_chunk_task(spec: CampaignSpec, chunk: list[WorkUnit],
     deterministically on the first dispatch and recovers on the
     retry."""
     fault_point("campaign.pool_chunk", attempt=attempt, n_units=len(chunk))
-    return run_chunk(spec, chunk)
+    return run_chunk(spec, chunk, cache=worker_chunk_cache(spec))
 
 
 class ProcessPoolCampaignExecutor:
@@ -97,9 +143,44 @@ class ProcessPoolCampaignExecutor:
         self.max_attempts = max_attempts
         #: Pool rebuilds performed on the last map_chunks call.
         self.restarts = 0
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_spec: CampaignSpec | None = None
 
     def default_chunk_size(self, spec: CampaignSpec) -> int:
         return max(1, math.ceil(spec.n_units / (4 * self.max_workers)))
+
+    def _get_pool(self, spec: CampaignSpec) -> ProcessPoolExecutor:
+        """The persistent, pre-warmed pool for ``spec``.
+
+        The pool survives across ``map_chunks`` calls (fork + import +
+        cache warm-up are paid once per worker, not once per campaign)
+        and is rebuilt only when the spec changes — worker caches are
+        keyed to the spec their initializer warmed — or after breakage.
+        """
+        if self._pool is not None and self._pool_spec != spec:
+            self._shutdown_pool()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_warm_worker, initargs=(spec,))
+            self._pool_spec = spec
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_spec = None
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self._shutdown_pool()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self._shutdown_pool()
+        except Exception:
+            pass
 
     def map_chunks(self, spec: CampaignSpec,
                    chunks: list[list[WorkUnit]]) -> Iterator[list[dict]]:
@@ -119,21 +200,23 @@ class ProcessPoolCampaignExecutor:
         self.restarts = 0
         next_to_yield = 0
         while pending:
+            pool = self._get_pool(spec)
+            futures = {}
             try:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    futures = {
-                        pool.submit(_run_chunk_task, spec, chunks[i],
-                                    attempts[i]): i
-                        for i in sorted(pending)
-                    }
-                    for future in as_completed(futures):
-                        i = futures[future]
-                        results[i] = future.result()
-                        pending.discard(i)
-                        while next_to_yield in results:
-                            yield results[next_to_yield]
-                            next_to_yield += 1
+                futures = {
+                    pool.submit(_run_chunk_task, spec, chunks[i],
+                                attempts[i]): i
+                    for i in sorted(pending)
+                }
+                for future in as_completed(futures):
+                    i = futures[future]
+                    results[i] = future.result()
+                    pending.discard(i)
+                    while next_to_yield in results:
+                        yield results[next_to_yield]
+                        next_to_yield += 1
             except BrokenExecutor as exc:
+                self._shutdown_pool()
                 self.restarts += 1
                 for i in pending:
                     attempts[i] += 1
@@ -146,3 +229,9 @@ class ProcessPoolCampaignExecutor:
                         f"{len(exhausted)} chunk(s) ({len(units)} units) "
                         f"after {self.max_attempts} attempts each; first "
                         f"lost unit: {units[0]} [{exc}]", units) from exc
+            except BaseException:
+                # A measurement error (or generator teardown) must not
+                # leave orphaned chunk tasks running in live workers.
+                for future in futures:
+                    future.cancel()
+                raise

@@ -102,15 +102,35 @@ def run_unit(spec: CampaignSpec, unit: WorkUnit, cache: ChunkCache) -> dict[str,
     return record
 
 
-def run_chunk(spec: CampaignSpec, units: list[WorkUnit]) -> list[dict[str, float]]:
-    """Execute a chunk of units with a fresh shared cache.
+def run_chunk(spec: CampaignSpec, units: list[WorkUnit],
+              cache: ChunkCache | None = None) -> list[dict[str, float]]:
+    """Execute a chunk of units with a shared cache.
 
     This is the function the process-pool executor ships to workers: one
     picklable ``(spec, units)`` message in, one list of plain-float
-    records out.
+    records out.  Pre-warmed workers pass their long-lived
+    :func:`worker_chunk_cache` so corner technologies survive across
+    chunk messages; with ``cache=None`` a fresh one is used (the cold
+    path — still correct, every unit is a self-contained computation).
     """
-    cache = ChunkCache(spec)
+    if cache is None:
+        cache = ChunkCache(spec)
     return [run_unit(spec, unit, cache) for unit in units]
+
+
+#: One-slot per-process cache for pool workers: ``[spec, ChunkCache]``.
+#: Keyed by spec *value* equality (CampaignSpec is a frozen dataclass),
+#: so a worker reused across campaigns rebuilds only when the spec
+#: actually changes.
+_WORKER_CACHE: list = [None, None]
+
+
+def worker_chunk_cache(spec: CampaignSpec) -> ChunkCache:
+    """The calling process's persistent :class:`ChunkCache` for ``spec``."""
+    if _WORKER_CACHE[0] != spec:
+        _WORKER_CACHE[0] = spec
+        _WORKER_CACHE[1] = ChunkCache(spec)
+    return _WORKER_CACHE[1]
 
 
 def _execute_units(spec: CampaignSpec, units: list[WorkUnit], executor,

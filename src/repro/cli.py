@@ -126,6 +126,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     import time
 
     from repro.campaign import (
+        BatchedCampaignExecutor,
         CampaignSpec,
         ProcessPoolCampaignExecutor,
         SerialExecutor,
@@ -166,10 +167,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except (KeyError, ValueError, TypeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    if args.workers > 1:
+    choice = getattr(args, "executor", "auto")
+    if choice == "serial":
+        executor = SerialExecutor()
+    elif choice == "pool":
+        executor = ProcessPoolCampaignExecutor(max_workers=max(args.workers, 2))
+    elif choice == "batched":
+        executor = BatchedCampaignExecutor()
+    elif args.workers > 1:
         executor = ProcessPoolCampaignExecutor(max_workers=args.workers)
     else:
-        executor = SerialExecutor()
+        executor = BatchedCampaignExecutor()
     store = None
     if args.store is not None:
         from repro.store import ResultStore
@@ -538,7 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--measure", default="offset_v,iq_ma",
                     help="comma list of registered measurements")
     pc.add_argument("--workers", type=int, default=1,
-                    help="process-pool workers (1 = serial, default)")
+                    help="process-pool workers (1 = in-process, default)")
+    pc.add_argument("--executor", default="auto",
+                    choices=("auto", "serial", "pool", "batched"),
+                    help="execution engine: auto picks batched in-process "
+                         "(or the pool when --workers > 1); all choices "
+                         "produce byte-identical records")
     pc.add_argument("--chunk", type=int, default=None,
                     help="units per dispatch chunk (default: executor heuristic)")
     pc.add_argument("--csv", default=None, help="write the full table as CSV")

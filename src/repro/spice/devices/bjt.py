@@ -115,9 +115,12 @@ class BjtGroup:
         return len(self.names)
 
     def evaluate(self, volts: np.ndarray) -> BjtEval:
-        vc = volts[self.c]
-        vb = volts[self.b]
-        ve = volts[self.e]
+        # ``volts`` may be (dim,) or unit-stacked (N, dim); the ellipsis
+        # gather keeps both shapes on the identical elementwise op
+        # sequence (bitwise-equal rows, see repro.spice.batch).
+        vc = volts[..., self.c]
+        vb = volts[..., self.b]
+        ve = volts[..., self.e]
         sign = self.sign
 
         vbe = sign * (vb - ve)

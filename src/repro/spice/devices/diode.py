@@ -69,7 +69,8 @@ class DiodeGroup:
         return len(self.names)
 
     def evaluate(self, volts: np.ndarray) -> DiodeEval:
-        vd = volts[self.np_idx] - volts[self.nn_idx]
+        # (dim,) or unit-stacked (N, dim); see repro.spice.batch.
+        vd = volts[..., self.np_idx] - volts[..., self.nn_idx]
         x = vd / (self.n_ideality * self.ut)
         capped = np.minimum(x, 80.0)
         e = np.exp(capped)

@@ -178,11 +178,18 @@ class MosGroup:
         return len(self.names)
 
     def evaluate(self, volts: np.ndarray) -> MosEval:
-        """Large-signal evaluation at node voltages ``volts`` (extended)."""
-        vd = volts[self.d]
-        vg = volts[self.g]
-        vs = volts[self.s]
-        vb = volts[self.b]
+        """Large-signal evaluation at node voltages ``volts`` (extended).
+
+        ``volts`` may be the usual ``(dim,)`` vector or a unit-stacked
+        ``(N, dim)`` tensor (batched campaign execution); every output
+        array then carries the same leading axis.  Both shapes run the
+        identical sequence of elementwise operations, so a stacked row
+        is bit-for-bit the single-vector result.
+        """
+        vd = volts[..., self.d]
+        vg = volts[..., self.g]
+        vs = volts[..., self.s]
+        vb = volts[..., self.b]
         sign = self.sign
 
         # Source/drain swap keeps the effective VDS non-negative; the MOS
@@ -192,8 +199,13 @@ class MosGroup:
         swapped = vds_raw < 0.0
         eff_d = np.where(swapped, self.s, self.d)
         eff_s = np.where(swapped, self.d, self.s)
-        ved = volts[eff_d]
-        ves = volts[eff_s]
+        if volts.ndim == 1:
+            ved = volts[eff_d]
+            ves = volts[eff_s]
+        else:
+            # Per-row gather: eff_d is (N, n_dev) when volts is (N, dim).
+            ved = np.take_along_axis(volts, eff_d, axis=-1)
+            ves = np.take_along_axis(volts, eff_s, axis=-1)
 
         vgs = sign * (vg - ves)
         vds = sign * (ved - ves)

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 from scipy import linalg as sla
+from scipy.linalg import lapack as _lapack
 
 from repro.spice.netlist import is_ground
 
@@ -381,3 +382,98 @@ class SmallSignalContext:
         freqs = np.asarray(freqs, dtype=float)
         fwd, _ = self.solve(freqs, rhs=self.rhs_ac())
         return self.probe(fwd[:, :, 0], out_p, out_n)
+
+
+class BatchedSmallSignalContext:
+    """Single-frequency solves batched over a leading *unit* axis.
+
+    Where :class:`SmallSignalContext` batches one circuit over many
+    frequencies, this context batches many same-topology circuits (a
+    campaign group, see :mod:`repro.spice.batch`) at the probe
+    frequencies the campaign measurements use (one or two RHS columns at
+    1 kHz).  The factorization of each ``A_u = G_u + 2j*pi*f*C_u`` is
+    cached per frequency and shared by every measurement of the group —
+    the unit-axis analogue of the serial path's per-unit LU reuse.
+
+    Bitwise contract: the matrix assembly replays
+    :func:`stacked_matrices`' scalar ops per unit and the per-unit
+    ``getrf``/``getrs`` calls are the same LAPACK routines behind the
+    serial path's ``lu_factor``/``lu_solve``, so a batched column
+    equals the serial solution byte for byte.  :meth:`solve_checked` additionally verifies
+    a scaled residual per unit (mirroring :class:`SpectralSolver`'s
+    acceptance test); callers loop rejected units back through the
+    serial per-unit path.
+    """
+
+    def __init__(self, g: np.ndarray, c: np.ndarray) -> None:
+        if g.ndim != 3 or g.shape != c.shape or g.shape[1] != g.shape[2]:
+            raise ValueError(f"need matching (N, n, n) tensors, got {g.shape}/{c.shape}")
+        self.g = g
+        self.c = c
+        self.n_units = g.shape[0]
+        self.n = g.shape[1]
+        self._factors: dict[float, tuple] = {}
+        self._a_norms: dict[float, np.ndarray] = {}
+
+    def _factor(self, freq: float):
+        ent = self._factors.get(freq)
+        if ent is None:
+            # Same scalar sequence as stacked_matrices: w = 2j*pi*f,
+            # then A = G + w*C elementwise.
+            w = 2j * np.pi * float(freq)
+            a = self.g + w * self.c
+            # Per-unit ``getrf``: the exact LAPACK routine behind
+            # scipy's lu_factor (bitwise-identical LU and pivots),
+            # called directly because the scipy wrapper's per-matrix
+            # Python overhead dominates stacked factorization cost.
+            # A singular unit (info > 0) is kept — its getrs solution
+            # goes non-finite and solve_checked rejects it, same as
+            # the scipy path.
+            factors = []
+            for u in range(self.n_units):
+                lu, piv, info = _lapack.zgetrf(a[u])
+                if info < 0:
+                    raise ValueError(
+                        f"illegal value in argument {-info} of zgetrf (unit {u})"
+                    )
+                factors.append((lu, piv))
+            ent = (a, factors)
+            self._factors[freq] = ent
+        return ent
+
+    def solve(self, freq: float, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A_u x_u = rhs_u`` for every unit; ``rhs`` is (N, n, k)."""
+        rhs = np.asarray(rhs, dtype=complex)
+        if rhs.shape[:2] != (self.n_units, self.n) or rhs.ndim != 3:
+            raise ValueError(
+                f"rhs must be ({self.n_units}, {self.n}, k), got {rhs.shape}"
+            )
+        _, factors = self._factor(float(freq))
+        out = np.empty_like(rhs)
+        for u, (lu, piv) in enumerate(factors):
+            out[u], _ = _lapack.zgetrs(lu, piv, rhs[u])
+        return out
+
+    def solve_checked(self, freq: float, rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`solve` plus a per-unit scaled-residual acceptance mask.
+
+        Returns ``(solutions, ok)``; ``ok[u]`` is False when unit *u*'s
+        solution is non-finite or its scaled residual exceeds
+        ``SPECTRAL_RESIDUAL_TOL`` — the caller should recompute that
+        unit through the serial per-unit path (the batched analogue of
+        ``SpectralSolver.solve`` returning ``None``).
+        """
+        rhs = np.asarray(rhs, dtype=complex)
+        x = self.solve(freq, rhs)
+        a, _ = self._factor(float(freq))
+        resid = np.abs(a @ x - rhs).max(axis=1)               # (N, k)
+        a_norm = self._a_norms.get(float(freq))
+        if a_norm is None:
+            a_norm = np.abs(a).sum(axis=2).max(axis=1)        # (N,)
+            self._a_norms[float(freq)] = a_norm
+        x_norm = np.abs(x).max(axis=1)                        # (N, k)
+        b_norm = np.abs(rhs).max(axis=1) + 1e-300             # (N, k)
+        with np.errstate(invalid="ignore"):
+            scaled = (resid / (a_norm[:, None] * x_norm + b_norm)).max(axis=1)
+        ok = np.isfinite(scaled) & (scaled <= SPECTRAL_RESIDUAL_TOL)
+        return x, ok

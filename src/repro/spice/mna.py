@@ -61,6 +61,73 @@ class NoiseSource:
         return self.psd_flat + self.psd_flicker / freq**self.af
 
 
+@dataclass
+class LinearStampPlan:
+    """COO replay plan for one topology's static linear stamps.
+
+    ``g_idx``/``c_idx`` hold one flat extended index (``row*dim + col``)
+    per scalar ``+=`` that :class:`MnaSystem.__init__` performs while
+    stamping the linear elements, in the exact order it performs them.
+    Replaying them with per-circuit values (:func:`linear_stamp_values`)
+    via ``np.add.at`` therefore reproduces ``g_static``/``c_static``
+    bit for bit — sequential accumulation order included — which is what
+    lets :class:`repro.spice.batch.BatchedSystem` stamp N same-topology
+    circuits into one ``(N, dim, dim)`` tensor without compiling N
+    systems.  Device (MOS) capacitances are not part of the plan; the
+    batch layer appends them from its stacked groups in the same order
+    as :meth:`MnaSystem._stamp_mos_capacitances`.
+    """
+
+    g_idx: np.ndarray
+    c_idx: np.ndarray
+    dim: int
+
+
+def linear_stamp_values(circuit: Circuit, temp_c: float) -> tuple[list[float], list[float]]:
+    """Signed stamp values for ``circuit`` matching :meth:`MnaSystem.stamp_plan`.
+
+    Walks the elements in circuit order with the same dispatch chain as
+    :class:`MnaSystem.__init__`, emitting one signed value per planned
+    ``+=`` (a ``-=`` becomes the exactly-negated value).  All arithmetic
+    mirrors the compile path operation for operation, so the replayed
+    matrices are bitwise identical to a fresh compile of ``circuit`` at
+    ``temp_c``.
+    """
+    g_vals: list[float] = []
+    c_vals: list[float] = []
+    # Dispatch order puts the device-heavy common types first; the
+    # element classes are sibling leaves of Element, so check order
+    # cannot change which branch an element takes.
+    for el in circuit:
+        if isinstance(el, (Mosfet, Bjt, Diode, CurrentSource)):
+            pass
+        elif isinstance(el, Resistor):
+            g = 1.0 / el.value_at(temp_c)
+            g_vals += [g, -g, -g, g]
+        elif isinstance(el, Capacitor):
+            c = el.value
+            c_vals += [c, -c, -c, c]
+        elif isinstance(el, VoltageSource):
+            g_vals += [1.0, -1.0, 1.0, -1.0]
+        elif isinstance(el, Switch):
+            g = 1.0 / el.resistance
+            g_vals += [g, -g, -g, g]
+        elif isinstance(el, Inductor):
+            g_vals += [1.0, -1.0, 1.0, -1.0]
+            c_vals += [-el.value]
+        elif isinstance(el, Vcvs):
+            g_vals += [1.0, -1.0, 1.0, -1.0, -el.gain, el.gain]
+        elif isinstance(el, Ccvs):
+            g_vals += [1.0, -1.0, 1.0, -1.0, -el.transresistance]
+        elif isinstance(el, Vccs):
+            g_vals += [el.gm, -el.gm, -el.gm, el.gm]
+        elif isinstance(el, Cccs):
+            g_vals += [el.gain, -el.gain]
+        else:
+            raise TypeError(f"unsupported element type {type(el).__name__}")
+    return g_vals, c_vals
+
+
 class MnaSystem:
     """A circuit compiled at a fixed temperature, ready for the solvers."""
 
@@ -259,6 +326,68 @@ class MnaSystem:
                 self.c_static[a, b] -= c
                 self.c_static[b, a] -= c
                 self.c_static[b, b] += c
+
+    def stamp_plan(self) -> LinearStampPlan:
+        """Flat COO indices of every linear ``+=`` this system performed.
+
+        Walks the circuit with the dispatch chain of ``__init__`` and
+        records, per scalar accumulation into ``g_static``/``c_static``,
+        the flat extended index ``row*dim + col`` — in stamping order.
+        Paired with :func:`linear_stamp_values` for a sibling circuit of
+        the same topology, ``np.add.at`` replay rebuilds that sibling's
+        static matrices bit for bit (see :mod:`repro.spice.batch`).
+        """
+        dim = self.size + 1
+        g_idx: list[int] = []
+        c_idx: list[int] = []
+
+        def conduct(idx: list[int], n1: str, n2: str) -> None:
+            a, b = self.node(n1), self.node(n2)
+            idx += [a * dim + a, a * dim + b, b * dim + a, b * dim + b]
+
+        def vsource_topology(name: str, np_node: str, nn_node: str) -> int:
+            j = self._branch_index[name]
+            a, b = self.node(np_node), self.node(nn_node)
+            g_idx.extend([a * dim + j, b * dim + j, j * dim + a, j * dim + b])
+            return j
+
+        for el in self.circuit:
+            if isinstance(el, Resistor):
+                conduct(g_idx, el.n1, el.n2)
+            elif isinstance(el, Switch):
+                conduct(g_idx, el.n1, el.n2)
+            elif isinstance(el, Capacitor):
+                conduct(c_idx, el.n1, el.n2)
+            elif isinstance(el, Inductor):
+                j = self._branch_index[el.name]
+                a, b = self.node(el.n1), self.node(el.n2)
+                g_idx += [a * dim + j, b * dim + j, j * dim + a, j * dim + b]
+                c_idx += [j * dim + j]
+            elif isinstance(el, VoltageSource):
+                vsource_topology(el.name, el.np, el.nn)
+            elif isinstance(el, Vcvs):
+                j = vsource_topology(el.name, el.np, el.nn)
+                g_idx += [j * dim + self.node(el.ncp), j * dim + self.node(el.ncn)]
+            elif isinstance(el, Ccvs):
+                j = vsource_topology(el.name, el.np, el.nn)
+                g_idx += [j * dim + self._control_branch(el.control)]
+            elif isinstance(el, Vccs):
+                a, b = self.node(el.np), self.node(el.nn)
+                cp, cn = self.node(el.ncp), self.node(el.ncn)
+                g_idx += [a * dim + cp, a * dim + cn, b * dim + cp, b * dim + cn]
+            elif isinstance(el, Cccs):
+                a, b = self.node(el.np), self.node(el.nn)
+                jc = self._control_branch(el.control)
+                g_idx += [a * dim + jc, b * dim + jc]
+            elif isinstance(el, (CurrentSource, Mosfet, Bjt, Diode)):
+                pass
+            else:
+                raise TypeError(f"unsupported element type {type(el).__name__}")
+        return LinearStampPlan(
+            g_idx=np.asarray(g_idx, dtype=np.intp),
+            c_idx=np.asarray(c_idx, dtype=np.intp),
+            dim=dim,
+        )
 
     def _prepare_index_arrays(self) -> None:
         """Precompute flat COO stamp-index arrays for the device groups.

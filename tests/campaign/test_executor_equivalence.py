@@ -1,0 +1,125 @@
+"""Cross-executor equivalence: serial / pool / batched, every builder.
+
+The batched executor re-implements stamping, Newton and the AC probes
+as unit-tensor operations; the pool executor re-implements scheduling
+with persistent pre-warmed workers.  Neither is allowed to move a
+single bit: for every registered builder the three executors must
+produce byte-identical ``to_json()`` exports from the same spec.  JSON
+bytes are the strictest practical surface — they capture values, key
+order, row order and float repr in one comparison.
+"""
+
+import pytest
+
+from repro.campaign import (
+    BatchedCampaignExecutor,
+    CampaignSpec,
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+    run_campaign,
+)
+
+# One spec per registered builder, measurements chosen to exercise every
+# batched implementation (DC reads, branch currents, gain, PSRR/CMRR
+# two-column solves) at least once across the matrix.
+BUILDER_SPECS = {
+    "micamp": CampaignSpec(
+        builder="micamp", corners=("tt", "ss"), temps_c=(-20.0, 85.0),
+        seeds=(0, 1), gain_codes=(0, 5),
+        measurements=("offset_v", "iq_ma", "gain_1khz_db",
+                      "psrr_1khz_db", "cmrr_1khz_db"),
+    ),
+    "powerbuffer": CampaignSpec(
+        builder="powerbuffer", corners=("tt", "ff"), temps_c=(25.0, 85.0),
+        seeds=(0, 1), gain_codes=(None,),
+        measurements=("offset_v", "iq_ma", "gain_1khz_db",
+                      "psrr_1khz_db", "cmrr_1khz_db"),
+    ),
+    "bias": CampaignSpec(
+        builder="bias", corners=("tt", "ss"), temps_c=(-20.0, 25.0, 85.0),
+        seeds=(0, 1), gain_codes=(None,),
+        measurements=("bias_current_ua", "offset_v", "iq_ma"),
+    ),
+    "bandgap": CampaignSpec(
+        builder="bandgap", corners=("tt", "fs"), temps_c=(-20.0, 25.0, 85.0),
+        seeds=(0, 1), gain_codes=(None,),
+        measurements=("vref_mv", "offset_v", "iq_ma"),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def serial_json():
+    return {
+        name: run_campaign(spec, executor=SerialExecutor()).to_json()
+        for name, spec in BUILDER_SPECS.items()
+    }
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("builder", sorted(BUILDER_SPECS))
+    def test_batched_byte_identical(self, builder, serial_json):
+        spec = BUILDER_SPECS[builder]
+        executor = BatchedCampaignExecutor()
+        result = run_campaign(spec, executor=executor)
+        assert result.to_json() == serial_json[builder]
+        # The comparison only means something if the tensor path did the
+        # work: every unit must have been batch-solved, none recomputed
+        # through the per-unit fallback.
+        assert executor.stats["batched_units"] == spec.n_units
+        assert executor.stats.get("fallback_units", 0) == 0
+
+    def test_batched_with_serial_only_measurements(self, tmp_path):
+        """noise_voice / area_mm2 have no batched implementation: they
+        must run serially on the batch's bit-identical operating point
+        and still match the reference export byte for byte."""
+        spec = CampaignSpec(
+            builder="micamp", corners=("tt",), temps_c=(25.0, 85.0),
+            seeds=(0, 1), gain_codes=(5,),
+            measurements=("offset_v", "noise_voice", "area_mm2"),
+        )
+        serial = run_campaign(spec, executor=SerialExecutor())
+        executor = BatchedCampaignExecutor()
+        batched = run_campaign(spec, executor=executor)
+        assert batched.to_json() == serial.to_json()
+        assert executor.stats["batched_units"] == spec.n_units
+
+    def test_batched_chunk_and_batch_size_invariance(self, serial_json):
+        """Chunk boundaries and batch-size choice are scheduling knobs;
+        neither may alter a byte of the export."""
+        spec = BUILDER_SPECS["micamp"]
+        for chunk_size, batch_size in ((3, 2), (7, 64), (None, 1)):
+            executor = BatchedCampaignExecutor(batch_size=batch_size)
+            result = run_campaign(spec, executor=executor,
+                                  chunk_size=chunk_size)
+            assert result.to_json() == serial_json["micamp"]
+
+
+class TestPoolEquivalence:
+    @pytest.mark.parametrize("builder", sorted(BUILDER_SPECS))
+    def test_pool_byte_identical(self, builder, serial_json):
+        spec = BUILDER_SPECS[builder]
+        executor = ProcessPoolCampaignExecutor(max_workers=2)
+        try:
+            result = run_campaign(spec, executor=executor, chunk_size=3)
+        finally:
+            executor.close()
+        assert result.to_json() == serial_json[builder]
+
+    def test_pool_reuses_workers_across_campaigns(self, serial_json):
+        """The persistent pool must survive consecutive campaigns of the
+        same spec (that is the point of pre-warmed workers) and still
+        produce reference bytes each time."""
+        spec = BUILDER_SPECS["bias"]
+        executor = ProcessPoolCampaignExecutor(max_workers=2)
+        try:
+            first = run_campaign(spec, executor=executor)
+            pool_obj = executor._pool
+            assert pool_obj is not None
+            second = run_campaign(spec, executor=executor)
+            assert executor._pool is pool_obj, "pool was rebuilt between runs"
+        finally:
+            executor.close()
+        assert first.to_json() == serial_json["bias"]
+        assert second.to_json() == serial_json["bias"]
+        assert executor._pool is None

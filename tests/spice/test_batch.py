@@ -1,0 +1,149 @@
+"""Unit tests for the tensor batch engine (`repro.spice.batch`).
+
+The campaign-level equivalence suite proves end-to-end byte-identity;
+these tests pin the engine's individual contracts so a regression is
+localised: stamp replay reproduces a real compile bit for bit, the
+lockstep Newton matches the serial iterate unit by unit, the batched
+small-signal context matches the serial factorization, and structural
+mismatches raise instead of silently mis-stamping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.micamp import build_mic_amp
+from repro.process import CMOS12, MismatchSampler
+from repro.spice.batch import (
+    BatchedSystem,
+    BatchStructureError,
+    circuit_signature,
+    newton_batch,
+)
+from repro.spice.dc import _initial_guess, dc_operating_point
+from repro.spice.elements import Capacitor, Resistor
+from repro.spice.linsolve import BatchedSmallSignalContext
+from repro.spice.netlist import Circuit
+
+
+def _mismatch_circuits(seeds, temps):
+    """Same-topology micamp variants: one circuit per seed, repeated
+    across temps in unit order (temperature innermost, like a spec)."""
+    circuits, unit_temps = [], []
+    for seed in seeds:
+        sampler = MismatchSampler(CMOS12, np.random.default_rng(seed))
+        built = build_mic_amp(CMOS12, gain_code=5, mismatch=sampler)
+        for t in temps:
+            circuits.append(built.circuit)
+            unit_temps.append(t)
+    return circuits, unit_temps
+
+
+@pytest.fixture(scope="module")
+def batch():
+    circuits, temps = _mismatch_circuits(seeds=(0, 1, 2), temps=(-20.0, 85.0))
+    pattern = circuits[0].compile(temp_c=temps[0])
+    return circuits, temps, pattern, BatchedSystem(pattern, circuits, temps)
+
+
+class TestStampReplay:
+    def test_every_unit_slice_matches_a_real_compile(self, batch):
+        circuits, temps, _, bs = batch
+        for u, (circ, t) in enumerate(zip(circuits, temps)):
+            ref = circ.compile(temp_c=t)
+            assert np.array_equal(bs.g_t[u], ref.g_static), f"G mismatch, unit {u}"
+            assert np.array_equal(bs.c_t[u], ref.c_static), f"C mismatch, unit {u}"
+
+    def test_rhs_and_guess_match_serial(self, batch):
+        circuits, temps, _, bs = batch
+        rhs = bs.rhs_dc()
+        guess = bs.initial_guess()
+        for u, (circ, t) in enumerate(zip(circuits, temps)):
+            ref = circ.compile(temp_c=t)
+            assert np.array_equal(rhs[u], ref.rhs_dc())
+            assert np.array_equal(guess[u], _initial_guess(ref))
+
+
+class TestNewtonLockstep:
+    def test_converged_units_bitwise_equal_serial(self, batch):
+        circuits, temps, _, bs = batch
+        converged, x, iterations = newton_batch(bs, bs.initial_guess(),
+                                                bs.rhs_dc())
+        assert converged.all(), "reference circuits must converge plain-Newton"
+        for u, (circ, t) in enumerate(zip(circuits, temps)):
+            op = dc_operating_point(circ, temp_c=t)
+            assert op.strategy == "newton"
+            assert iterations[u] == op.iterations
+            assert np.array_equal(x[u], op.x), f"solution drifted, unit {u}"
+
+
+class TestBatchedSmallSignal:
+    def test_solve_matches_serial_context(self, batch):
+        circuits, temps, pattern, bs = batch
+        _, x, _ = newton_batch(bs, bs.initial_guess(), bs.rhs_dc())
+        n = pattern.size
+        ctx = BatchedSmallSignalContext(
+            np.ascontiguousarray(bs.linearize(x)[:, :n, :n]),
+            np.ascontiguousarray(bs.c_t[:, :n, :n]))
+        rhs = np.zeros((bs.n_units, n, 1), dtype=complex)
+        serial_cols = []
+        for u, (circ, t) in enumerate(zip(circuits, temps)):
+            op = dc_operating_point(circ, temp_c=t)
+            sctx = op.small_signal()
+            assert np.array_equal(ctx.g[u], sctx.g)
+            assert np.array_equal(ctx.c[u], sctx.c)
+            b = sctx.rhs_ac()
+            rhs[u, :, 0] = b
+            fwd, _ = sctx.solve(np.array([1e3]), rhs=b)
+            serial_cols.append(fwd[0])
+        got, ok = ctx.solve_checked(1e3, rhs)
+        assert ok.all()
+        for u, ref in enumerate(serial_cols):
+            assert np.array_equal(got[u], ref), f"AC solution drifted, unit {u}"
+
+    def test_factorization_cached_per_frequency(self, batch):
+        _, _, pattern, bs = batch
+        n = pattern.size
+        _, x, _ = newton_batch(bs, bs.initial_guess(), bs.rhs_dc())
+        ctx = BatchedSmallSignalContext(
+            np.ascontiguousarray(bs.linearize(x)[:, :n, :n]),
+            np.ascontiguousarray(bs.c_t[:, :n, :n]))
+        rhs = np.ones((bs.n_units, n, 1), dtype=complex)
+        ctx.solve(1e3, rhs)
+        ent = ctx._factors[1e3]
+        ctx.solve(1e3, rhs)
+        assert ctx._factors[1e3] is ent
+        ctx.solve(2e3, rhs)
+        assert set(ctx._factors) == {1e3, 2e3}
+
+
+class TestStructureGuards:
+    def test_signature_distinguishes_topologies(self):
+        a = Circuit("a")
+        a.add(Resistor(name="r1", n1="x", n2="0", value=1e3))
+        b = Circuit("b")
+        b.add(Resistor(name="r1", n1="x", n2="y", value=1e3))
+        c = Circuit("c")
+        c.add(Capacitor(name="r1", n1="x", n2="0", value=1e-12))
+        assert circuit_signature(a) != circuit_signature(b)
+        assert circuit_signature(a) != circuit_signature(c)
+        clone = Circuit("a2")
+        clone.add(Resistor(name="r1", n1="x", n2="0", value=2e3))
+        assert circuit_signature(a) == circuit_signature(clone)
+
+    def test_mismatched_structure_raises(self, batch):
+        circuits, temps, pattern, _ = batch
+        other = Circuit("other")
+        other.add(Resistor(name="r1", n1="x", n2="0", value=1e3))
+        with pytest.raises(BatchStructureError):
+            BatchedSystem(pattern, [circuits[0], other], [temps[0], temps[0]])
+
+    def test_check_structure_false_still_guards_unit_zero(self, batch):
+        """Even with the signature walk skipped, a pattern that does not
+        belong to unit 0 trips the compile-replay guard."""
+        circuits, temps, _, _ = batch
+        alien = Circuit("alien")
+        alien.add(Resistor(name="r1", n1="x", n2="0", value=1e3))
+        alien_pattern = alien.compile(temp_c=temps[0])
+        with pytest.raises(BatchStructureError):
+            BatchedSystem(alien_pattern, [circuits[0]], [temps[0]],
+                          check_structure=False)

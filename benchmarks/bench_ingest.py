@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Ingest front-door benchmark: parse throughput + sparse crossover.
+
+Two measurements:
+
+* ``parse``  — compile (lex, parse, flatten, model-map) the vendored
+  exemplar decks and a synthetic ~3k-card RC ladder deck through
+  :func:`repro.ingest.compile_deck`, reporting cards/s.  The exemplars
+  keep the number honest on realistic hierarchical decks; the ladder
+  gives a stable large-N figure.
+* ``sparse`` — ingest a ~1k-node nonlinear RC ladder (diodes every few
+  rungs) and run the same DC operating point + 40-point AC sweep twice:
+  once with :class:`~repro.spice.mna.MnaSystem.sparse_threshold` pushed
+  out of reach (dense LAPACK, the historical path) and once with the
+  default threshold (CSC assembly + SuperLU).  Node voltages must agree
+  to 1e-9 and the AC transfer wherever it is above the dense noise
+  floor; full mode requires the sparse path to clear a **>= 3x**
+  wall-clock floor at >= 1000 nodes.
+
+Full mode merges an ``ingest`` entry (and appends to
+``ingest_trajectory``) into ``BENCH_perf.json`` without disturbing the
+other benchmarks' keys; ``--smoke`` shrinks the ladder for CI and
+asserts only correctness, not speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+DECK_DIR = REPO_ROOT / "tests" / "ingest" / "decks"
+
+EXEMPLARS = ("ota_5t.sp", "diff_amp.sp", "clocked_comparator.sp")
+
+
+def ladder_deck(n_nodes: int) -> str:
+    """A SPICE deck for an RC ladder with a diode every 50 rungs."""
+    lines = [f"* rc ladder, {n_nodes} nodes",
+             ".model dcore d (is=1e-14 n=1.5)",
+             "vin n0 0 dc 1.0 ac 1.0"]
+    for i in range(n_nodes):
+        a, b = f"n{i}", f"n{i + 1}"
+        lines.append(f"r{i} {a} {b} 1k")
+        lines.append(f"c{i} {b} 0 1p")
+        if i % 50 == 0:
+            lines.append(f"d{i} {b} 0 dcore")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def bench_parse(smoke: bool) -> dict:
+    from repro.ingest import compile_deck
+
+    decks = [(name, (DECK_DIR / name).read_text()) for name in EXEMPLARS]
+    synth = ladder_deck(300 if smoke else 1500)
+    decks.append(("ladder.sp", synth))
+    cards = sum(len([ln for ln in text.splitlines()
+                     if ln.strip() and not ln.lstrip().startswith("*")])
+                for _, text in decks)
+
+    reps = 3 if smoke else 10
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for name, text in decks:
+            compile_deck(text, name=name)
+        best = min(best, time.perf_counter() - t0)
+    rate = cards * 1.0 / best
+    print(f"[bench_ingest] parse: {len(decks)} decks, {cards} cards, "
+          f"best of {reps}: {best * 1e3:.1f} ms ({rate:.0f} cards/s)")
+    return {"decks": len(decks), "cards": cards, "best_s": best,
+            "cards_per_s": rate}
+
+
+def _solve(circuit, freqs):
+    import numpy as np
+
+    from repro.spice.dc import dc_operating_point
+
+    t0 = time.perf_counter()
+    op = dc_operating_point(circuit)
+    tf = op.small_signal().transfer(freqs, f"n{_solve.n_nodes}")
+    wall = time.perf_counter() - t0
+    x = np.array([op.v(f"n{k}") for k in range(_solve.n_nodes + 1)])
+    return wall, x, tf
+
+
+def bench_sparse(smoke: bool) -> dict:
+    import numpy as np
+
+    from repro.ingest import compile_deck
+    from repro.spice.mna import MnaSystem
+
+    n_nodes = 200 if smoke else 1000
+    _solve.n_nodes = n_nodes
+    text = ladder_deck(n_nodes)
+    freqs = np.logspace(1, 7, 40)
+
+    saved = MnaSystem.sparse_threshold
+    try:
+        MnaSystem.sparse_threshold = 10 ** 9
+        t_dense, x_dense, tf_dense = _solve(
+            compile_deck(text, name="ladder").circuit, freqs)
+        MnaSystem.sparse_threshold = min(saved, n_nodes)
+        t_sparse, x_sparse, tf_sparse = _solve(
+            compile_deck(text, name="ladder").circuit, freqs)
+    finally:
+        MnaSystem.sparse_threshold = saved
+
+    dv = float(np.max(np.abs(x_dense - x_sparse)))
+    assert dv < 1e-9, f"sparse DC diverged from dense: max dv {dv:.3g} V"
+    # The transfer is compared stimulus-referred: past the ladder's deep
+    # attenuation both paths are below double precision's dynamic range
+    # and only roundoff noise remains, so the gate is the absolute error
+    # against the sweep's peak response, not a pointwise relative one.
+    scale = float(np.max(np.abs(tf_dense)))
+    rel = float(np.max(np.abs(tf_dense - tf_sparse))) / scale
+    assert rel < 1e-9, f"sparse AC diverged from dense: scaled {rel:.3g}"
+    speedup = t_dense / t_sparse
+    print(f"[bench_ingest] sparse: {n_nodes} nodes, dense {t_dense:.3f}s, "
+          f"sparse {t_sparse:.3f}s ({speedup:.1f}x), max dv {dv:.2g} V")
+    return {"n_nodes": n_nodes, "dense_s": t_dense, "sparse_s": t_sparse,
+            "sparse_speedup": speedup, "max_dv": dv}
+
+
+def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
+    """Merge into the trajectory file without clobbering other benches."""
+    payload: dict = {}
+    if out.exists():
+        try:
+            payload = json.loads(out.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload["ingest"] = {
+        "smoke": smoke,
+        "platform": platform.platform(),
+        **results,
+    }
+    payload.setdefault("ingest_trajectory", []).append({
+        "cards_per_s": results["parse"]["cards_per_s"],
+        "sparse_speedup": results["sparse"]["sparse_speedup"],
+        "smoke": smoke,
+    })
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small ladder for CI; correctness only, "
+                             "no speedup floor")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help=f"output JSON (default: {DEFAULT_OUT} in full "
+                             "mode, bench_ingest_smoke.json in smoke mode)")
+    args = parser.parse_args(argv)
+
+    results = {"parse": bench_parse(args.smoke),
+               "sparse": bench_sparse(args.smoke)}
+
+    out = args.out or (pathlib.Path("bench_ingest_smoke.json") if args.smoke
+                       else DEFAULT_OUT)
+    _merge_out(out, results, args.smoke)
+    print(f"[bench_ingest] wrote {out}")
+
+    if args.smoke:
+        return 0
+    failed = False
+    if results["sparse"]["n_nodes"] < 1000:
+        print(f"FAIL: full-mode ladder must have >= 1000 nodes, "
+              f"got {results['sparse']['n_nodes']}")
+        failed = True
+    if results["sparse"]["sparse_speedup"] < 3.0:
+        print("FAIL: sparse path below the 3x floor over dense "
+              f"({results['sparse']['sparse_speedup']:.2f}x)")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

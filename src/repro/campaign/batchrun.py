@@ -36,6 +36,7 @@ import math
 
 import numpy as np
 
+from repro.campaign.builders import BUILDERS
 from repro.campaign.measurements import MEASUREMENTS
 from repro.campaign.runner import ChunkCache, UnitRuntime
 from repro.campaign.spec import CampaignSpec, WorkUnit
@@ -375,6 +376,14 @@ def run_chunk_batched(spec: CampaignSpec, units: list[WorkUnit],
         g_techs = [m[2] for m in members]
         try:
             fault_point("campaign.batch_group", n_units=len(idxs))
+            builder_fn = BUILDERS.get(spec.builder)
+            if builder_fn is not None and \
+                    not getattr(builder_fn, "batchable", True):
+                # Ingested/foreign structure: the tensor engine must not
+                # stack it (see register_builder); take the same
+                # byte-identical per-unit fallback as any group surprise.
+                raise RuntimeError(
+                    f"builder {spec.builder!r} is not batchable")
             recs = _run_group(spec, g_units, g_builts, g_techs, stats)
         except Exception:
             if stats is not None:

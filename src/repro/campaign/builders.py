@@ -40,12 +40,21 @@ BuilderFn = Callable[[Technology, MismatchSampler, float | None, int | None], Bu
 BUILDERS: dict[str, BuilderFn] = {}
 
 
-def register_builder(name: str) -> Callable[[BuilderFn], BuilderFn]:
-    """Decorator: expose a builder function to campaign specs as ``name``."""
+def register_builder(name: str, *,
+                     batchable: bool = True) -> Callable[[BuilderFn], BuilderFn]:
+    """Decorator: expose a builder function to campaign specs as ``name``.
+
+    ``batchable=False`` marks builders whose circuits the tensor-batched
+    executor must not stack (arbitrary ingested structure, potentially
+    above the sparse threshold where dense ``(N, dim, dim)`` tensors are
+    prohibitive); the batched executor routes their units through its
+    per-unit serial fallback instead.
+    """
 
     def deco(fn: BuilderFn) -> BuilderFn:
         if name in BUILDERS:
             raise ValueError(f"builder {name!r} already registered")
+        fn.batchable = batchable
         BUILDERS[name] = fn
         return fn
 
@@ -170,6 +179,44 @@ def _build_bias(tech: Technology, sampler: MismatchSampler,
         supply_source="vsup",
         probes={"iout_node": design.out_node, "r_load": 10e3},
         design=design,
+    )
+
+
+@register_builder("ingested", batchable=False)
+def _build_ingested(tech: Technology, sampler: MismatchSampler,
+                    supply: float | None, gain_code: int | None, *,
+                    netlist: str = "", binding: str = "{}",
+                    top: str = "") -> BuiltUnit:
+    """An external SPICE deck compiled by :mod:`repro.ingest`.
+
+    ``netlist`` is the deck text (the front doors pass the *canonical
+    flattened* form so store keys are content-addressed), ``binding``
+    the port-binding JSON (see :mod:`repro.ingest.binding`) and ``top``
+    an optional subcircuit name to elaborate as the top cell.  The
+    supply axis overrides the binding's supply-port DC; mismatch seeds
+    and gain codes have no meaning for a foreign deck and are rejected
+    so every store key maps to a distinct simulation.
+    """
+    from repro.ingest import apply_binding, compile_deck
+
+    if not netlist:
+        raise ValueError("ingested builder needs builder_kwargs['netlist'] "
+                         "(SPICE deck text)")
+    if gain_code is not None:
+        raise ValueError("ingested netlists have no gain codes; "
+                         "use gain_codes=(None,)")
+    if sampler is not None and getattr(sampler, "enabled", False):
+        raise ValueError("mismatch seeds are not supported for ingested "
+                         "netlists; use seeds=(None,)")
+    compiled = compile_deck(netlist, name="ingested", top=top or None)
+    bound = apply_binding(compiled.circuit, binding, supply=supply)
+    return BuiltUnit(
+        circuit=compiled.circuit,
+        out_p=bound.out_p,
+        out_n=bound.out_n,
+        input_sources=bound.input_sources,
+        supply_source=bound.supply_source or "vdd_src",
+        design=None,
     )
 
 

@@ -111,8 +111,12 @@ class CampaignSpec:
                            tuple(_as_axis(self.measurements, "measurements")))
         kwargs = self.builder_kwargs
         pairs = sorted(kwargs.items()) if hasattr(kwargs, "items") else list(kwargs)
+        # Numeric values normalise to float (so 2 and 2.0 hash alike in
+        # store keys); strings pass through untouched — the ingested
+        # builder rides its canonical deck and binding text here.
         object.__setattr__(self, "builder_kwargs",
-                           tuple(sorted((str(k), float(v)) for k, v in pairs)))
+                           tuple(sorted((str(k), v if isinstance(v, str) else float(v))
+                                        for k, v in pairs)))
 
         unknown = [c for c in self.corners if c not in CORNERS]
         if unknown:

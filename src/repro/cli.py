@@ -18,6 +18,9 @@ Gives the reproduction a bench-style front door:
   store-backed warm hits;
 * ``client``                  — submit/poll/fetch against a running
   ``repro serve`` endpoint;
+* ``ingest <deck>``           — compile an external SPICE netlist
+  (:mod:`repro.ingest`): validate, flatten, DC/AC analyses via a
+  port-binding file;
 * ``export <block> <file>``   — write a block's SPICE deck for
   cross-checking with an external simulator.
 """
@@ -453,6 +456,90 @@ def _cmd_client(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled client command {args.client_cmd!r}")
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.ingest import IngestError, apply_binding, compile_deck
+
+    try:
+        with open(args.deck) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    name = os.path.basename(args.deck)
+    try:
+        compiled = compile_deck(text, name=name, top=args.top)
+    except IngestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    circuit = compiled.circuit
+
+    if args.canonical:
+        sys.stdout.write(compiled.canonical())
+        return 0
+
+    bound = None
+    if args.binding is not None:
+        try:
+            with open(args.binding) as fh:
+                binding_text = fh.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            bound = apply_binding(circuit, binding_text)
+        except IngestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if (args.op or args.ac) and bound is None:
+        print("error: --op/--ac need --binding FILE (ports, outputs, supply)",
+              file=sys.stderr)
+        return 2
+
+    counts: dict[str, int] = {}
+    for el in circuit:
+        kind = type(el).__name__
+        counts[kind] = counts.get(kind, 0) + 1
+    inventory = ", ".join(f"{n} {k}" for k, n in sorted(counts.items()))
+    if not args.validate:
+        print(f"{name}: top {compiled.top!r}, {len(circuit.nodes())} nodes, "
+              f"{sum(counts.values())} elements ({inventory})")
+    if not (args.op or args.ac):
+        return 0
+
+    from repro.spice.dc import ConvergenceError, dc_operating_point
+
+    try:
+        op = dc_operating_point(circuit)
+    except ConvergenceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out_tag = (bound.out_p if bound.out_n in ("gnd", "0")
+               else f"{bound.out_p}-{bound.out_n}")
+    if args.op:
+        print(f"dc: converged via {op.strategy} in {op.iterations} iterations")
+        print(f"  v({out_tag}) = {op.vdiff(bound.out_p, bound.out_n):.6g} V")
+        if bound.supply_source is not None:
+            print(f"  i({bound.supply_source}) = "
+                  f"{op.supply_current(bound.supply_source) * 1e3:.6g} mA")
+    if args.ac:
+        import numpy as np
+
+        if not bound.input_sources:
+            print("error: --ac needs a binding port with a nonzero 'ac'",
+                  file=sys.stderr)
+            return 2
+        freqs = np.logspace(1, 8, 8 * 4 + 1)
+        tf = op.small_signal().transfer(freqs, bound.out_p, bound.out_n)
+        mag_db = 20.0 * np.log10(np.maximum(np.abs(tf), 1e-300))
+        k1k = int(np.argmin(np.abs(freqs - 1e3)))
+        print(f"ac: gain({out_tag}) at 1 kHz = {mag_db[k1k]:.2f} dB")
+        for k in range(0, freqs.size, 4):
+            print(f"  {freqs[k]:12.4g} Hz   {mag_db[k]:8.2f} dB")
+    return 0
+
+
 _BLOCKS = ("micamp", "powerbuffer", "bandgap", "bias", "opamp")
 
 
@@ -707,6 +794,33 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--timeout", type=float, default=600.0,
                         help="wait timeout in seconds (default: 600)")
         sp.set_defaults(func=_cmd_client)
+
+    pi = sub.add_parser(
+        "ingest",
+        help="compile an external SPICE deck (parse / op / ac)",
+        description="Parse a SPICE netlist through repro.ingest, flatten "
+                    "its subcircuit hierarchy and optionally bind ports "
+                    "(supplies, stimulus, outputs) to run DC and AC "
+                    "analyses on the compiled circuit.",
+    )
+    pi.add_argument("deck", help="SPICE netlist file")
+    pi.add_argument("--top", default=None,
+                    help="subcircuit to elaborate as the top cell "
+                         "(default: top-level cards, or the only .subckt)")
+    pi.add_argument("--binding", default=None, metavar="FILE",
+                    help="port-binding JSON (ports/outputs/supply/loads)")
+    pi.add_argument("--validate", action="store_true",
+                    help="parse and elaborate only, no output on success")
+    pi.add_argument("--op", action="store_true",
+                    help="solve and print the DC operating point "
+                         "(requires --binding)")
+    pi.add_argument("--ac", action="store_true",
+                    help="print the small-signal gain sweep "
+                         "(requires --binding with an 'ac' port)")
+    pi.add_argument("--canonical", action="store_true",
+                    help="print the canonical flattened deck (the store-key "
+                         "form) and exit")
+    pi.set_defaults(func=_cmd_ingest)
 
     pe = sub.add_parser("export", help="write a block's SPICE deck")
     pe.add_argument("block", choices=_BLOCKS)

@@ -1,0 +1,39 @@
+"""repro.ingest — the SPICE netlist front door.
+
+Compiles external SPICE decks (device cards, ``.SUBCKT`` hierarchy,
+``.MODEL`` and ``.PARAM`` cards, engineering suffixes, continuations)
+into :class:`repro.spice.netlist.Circuit`, so every downstream layer —
+DC/AC/noise analyses, campaigns, the store, the serve API — works on
+circuits this package didn't write.  See ``docs/architecture.md`` for
+the dataflow and :mod:`repro.ingest.elaborate` for the determinism
+contract that makes store keys of ingested decks stable.
+"""
+
+from repro.ingest.binding import (
+    BoundPorts,
+    apply_binding,
+    canonical_binding,
+    parse_binding,
+)
+from repro.ingest.elaborate import (
+    CompiledDeck,
+    canonicalize_deck,
+    compile_deck,
+    elaborate,
+)
+from repro.ingest.errors import IngestError
+from repro.ingest.parser import Deck, parse_deck
+
+__all__ = [
+    "BoundPorts",
+    "CompiledDeck",
+    "Deck",
+    "IngestError",
+    "apply_binding",
+    "canonical_binding",
+    "canonicalize_deck",
+    "compile_deck",
+    "elaborate",
+    "parse_deck",
+    "parse_binding",
+]

@@ -1,0 +1,169 @@
+"""Port binding: how a bare ingested circuit becomes a measurable unit.
+
+The exemplar decks (and any netlist a user POSTs) are *unpowered*
+subcircuits — no supplies, no stimulus, no designated outputs.  A
+binding spec is a small JSON object that closes that gap against the
+flattened top cell::
+
+    {"ports":   {"vdd":  {"dc": 1.2},
+                 "vss":  {"dc": 0.0},
+                 "vin+": {"dc": 0.6, "ac": 1.0},
+                 "vb1":  {"dc": 0.7}},
+     "outputs": ["vout"],              // or ["outp", "outn"]
+     "supply":  "vdd",                 // port whose source carries I_Q
+     "loads":   {"vout": 1e-12},       // node: capacitance to ground
+     "nodesets": {"vout": 0.6}}        // optional DC initial guesses
+
+Every entry in ``ports`` grounds a voltage source on that net (named
+``bind.<port>``); ``supply`` names which of them the campaign's supply
+axis overrides and ``iq_ma`` measures.  Names resolve against the
+flattened top cell, so a subcircuit-internal net like the OTA's ``vb1``
+bias gate is directly bindable.  Binding mutates a circuit in place —
+apply it to a freshly compiled deck.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.ingest.errors import IngestError, one_line
+from repro.spice.netlist import GROUND, Circuit, is_ground
+
+_BINDING_KEYS = ("ports", "outputs", "supply", "loads", "nodesets")
+_PORT_KEYS = ("dc", "ac", "ac_phase")
+
+
+@dataclass
+class BoundPorts:
+    """What :func:`apply_binding` wired up, in BuiltUnit vocabulary."""
+
+    out_p: str
+    out_n: str
+    supply_source: str | None
+    input_sources: tuple[str, ...] = ()
+    source_names: tuple[str, ...] = field(default=())
+
+
+def _fail(message: str) -> IngestError:
+    return IngestError(one_line(message), deck="binding")
+
+
+def parse_binding(text_or_obj) -> dict:
+    """Validate a binding spec (JSON text or already-decoded object)."""
+    if isinstance(text_or_obj, str):
+        try:
+            obj = json.loads(text_or_obj)
+        except json.JSONDecodeError as exc:
+            raise _fail(f"not valid JSON: {exc}") from None
+    else:
+        obj = text_or_obj
+    if not isinstance(obj, dict):
+        raise _fail(f"must be a JSON object, got {type(obj).__name__}")
+    unknown = sorted(set(obj) - set(_BINDING_KEYS))
+    if unknown:
+        raise _fail(f"unknown key(s) {unknown}; allowed: "
+                    f"{sorted(_BINDING_KEYS)}")
+    ports = obj.get("ports", {})
+    if not isinstance(ports, dict):
+        raise _fail("'ports' must be an object")
+    for port, drive in ports.items():
+        if not isinstance(drive, dict):
+            raise _fail(f"port {port!r} must map to an object "
+                        f"like {{'dc': 1.2}}")
+        bad = sorted(set(drive) - set(_PORT_KEYS))
+        if bad:
+            raise _fail(f"port {port!r}: unknown key(s) {bad}; "
+                        f"allowed: {sorted(_PORT_KEYS)}")
+        for key, value in drive.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise _fail(f"port {port!r}: {key} must be a number")
+    outputs = obj.get("outputs", [])
+    if not isinstance(outputs, list) or \
+            not all(isinstance(o, str) for o in outputs):
+        raise _fail("'outputs' must be an array of node names")
+    if len(outputs) > 2:
+        raise _fail(f"'outputs' takes one (single-ended) or two "
+                    f"(differential) nodes, got {len(outputs)}")
+    supply = obj.get("supply")
+    if supply is not None:
+        if not isinstance(supply, str):
+            raise _fail("'supply' must be a port name")
+        if supply not in ports:
+            raise _fail(f"supply port {supply!r} is not in 'ports'")
+    for key in ("loads", "nodesets"):
+        table = obj.get(key, {})
+        if not isinstance(table, dict):
+            raise _fail(f"{key!r} must be an object")
+        for node, value in table.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise _fail(f"{key}[{node!r}] must be a number")
+    return obj
+
+
+def canonical_binding(text_or_obj) -> str:
+    """Canonical JSON for the binding (sorted keys, compact) — the form
+    that enters ``builder_kwargs`` and hence the store keys."""
+    return json.dumps(parse_binding(text_or_obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def apply_binding(circuit: Circuit, binding, *,
+                  supply: float | None = None) -> BoundPorts:
+    """Wire a validated binding into ``circuit`` (mutates it).
+
+    ``supply`` (the campaign supply-axis value) overrides the DC of the
+    supply port's source when given; the binding must then name a
+    ``supply`` port.
+    """
+    obj = parse_binding(binding)
+    known = set(circuit.nodes())
+    ports = obj.get("ports", {})
+
+    def check_node(node: str, what: str) -> str:
+        node = node.lower()
+        if is_ground(node):
+            return GROUND
+        if node not in known:
+            raise _fail(f"{what} {node!r} is not a node of the flattened "
+                        f"circuit (has {len(known)} nodes)")
+        return node
+
+    supply_port = obj.get("supply")
+    if supply is not None and supply_port is None:
+        raise _fail("a campaign supply value was given but the binding "
+                    "names no 'supply' port")
+    sources: list[str] = []
+    input_sources: list[str] = []
+    supply_source = None
+    for port in ports:   # JSON object order = user order, deterministic
+        drive = ports[port]
+        node = check_node(port, "bound port")
+        name = f"bind.{port.lower()}"
+        dc = float(drive.get("dc", 0.0))
+        if port == supply_port and supply is not None:
+            dc = float(supply)
+        src = circuit.vsource(name, node, GROUND, dc=dc,
+                              ac=float(drive.get("ac", 0.0)),
+                              ac_phase=float(drive.get("ac_phase", 0.0)))
+        sources.append(src.name)
+        if src.ac:
+            input_sources.append(src.name)
+        if port == supply_port:
+            supply_source = src.name
+    for node, cap in obj.get("loads", {}).items():
+        target = check_node(node, "load node")
+        circuit.capacitor(f"bind.load.{node.lower()}", target, GROUND,
+                          float(cap))
+    for node, volts in obj.get("nodesets", {}).items():
+        circuit.nodeset(check_node(node, "nodeset node"), float(volts))
+
+    outputs = [check_node(o, "output") for o in obj.get("outputs", [])]
+    if not outputs:
+        raise _fail("binding must name at least one output node")
+    out_p = outputs[0]
+    out_n = outputs[1] if len(outputs) == 2 else GROUND
+    return BoundPorts(out_p=out_p, out_n=out_n,
+                      supply_source=supply_source,
+                      input_sources=tuple(input_sources),
+                      source_names=tuple(sources))

@@ -1,0 +1,407 @@
+"""Elaboration: a parsed :class:`~repro.ingest.parser.Deck` -> ``Circuit``.
+
+Determinism contract (store keys hash the canonical flattened deck, so
+two processes ingesting the same text must produce byte-identical
+circuits):
+
+* SPICE is case-insensitive; the lexer lowercases every card, so all
+  element and node names are lowercase.
+* Element names are the full card token (``XM1`` -> ``xm1``); instance
+  expansion prefixes child names with the instance path
+  (``x1.m1``), depth-first in card order, so element *insertion order*
+  — which fixes MNA branch ordering and the exported card order — is a
+  pure function of the deck text.
+* Node names: the top cell's ports and internal nets keep their local
+  names; each nested ``X`` instance maps its subcircuit ports onto the
+  parent's nets positionally and prefixes internal nets with
+  ``<instance>.``.  ``Circuit.nodes()`` then sorts, so node indexing is
+  deterministic too.
+
+Top-cell selection: explicit ``top=`` wins; otherwise top-level device
+cards are the top; otherwise a deck that is exactly one ``.subckt``
+(the OTA/diff-amp/comparator exemplar shape) elaborates that subcircuit
+as the top cell — its ports *and* internal nets (e.g. an undriven bias
+net like ``vb1``) stay unprefixed and directly addressable by a port
+binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.ingest.errors import IngestError
+from repro.ingest.expressions import eval_value
+from repro.ingest.lexer import Card
+from repro.ingest.models import resolve_mos_model
+from repro.ingest.numbers import parse_number
+from repro.ingest.parser import Deck, Subckt, parse_deck, parse_params
+from repro.spice.devices.bjt import BjtModel
+from repro.spice.devices.diode import DiodeModel
+from repro.spice.elements import Pulse, Pwl, Sine
+from repro.spice.netlist import GROUND, Circuit, is_ground
+
+#: Instance-expansion depth guard (also catches A-instantiates-B-instantiates-A).
+MAX_DEPTH = 64
+
+#: MOS instance parameters accepted and ignored (layout/parasitic hints).
+_MOS_IGNORED = frozenset({"nfin", "ad", "as", "pd", "ps", "nrd", "nrs"})
+
+
+@dataclass
+class CompiledDeck:
+    """Result of :func:`compile_deck`: the flat circuit plus provenance."""
+
+    circuit: Circuit
+    deck: Deck
+    top: str | None
+
+    def canonical(self) -> str:
+        """Canonical flattened deck text (the store-key surface)."""
+        from repro.spice.export import export_netlist
+
+        return export_netlist(self.circuit, title=self.deck.name)
+
+
+class _Elaborator:
+    def __init__(self, deck: Deck):
+        self.deck = deck
+        self.circuit = Circuit(name=deck.name)
+        self.controls: list[tuple[str, int]] = []
+
+    def fail(self, message: str, line: int) -> IngestError:
+        return IngestError(message, deck=self.deck.name, line=line)
+
+    def add(self, factory, card: Card, *args, **kwargs):
+        try:
+            return factory(*args, **kwargs)
+        except (ValueError, KeyError) as exc:
+            raise self.fail(str(exc), card.line) from None
+
+    # ------------------------------------------------------------------
+    def emit(self, cards: list[Card], prefix: str,
+             node_map: dict[str, str], stack: tuple[str, ...]) -> None:
+        for card in cards:
+            head = card.tokens[0]
+            letter = head[0]
+            if letter == "x":
+                self.emit_x(card, prefix, node_map, stack)
+                continue
+            handler = getattr(self, f"emit_{letter}", None)
+            if handler is None:
+                raise self.fail(f"device card {head!r} is not supported",
+                                card.line)
+            handler(card, prefix, node_map)
+        if not stack:
+            for control, line in self.controls:
+                if control not in self.circuit:
+                    raise self.fail(
+                        f"controlled source references unknown element "
+                        f"{control!r}", line)
+                if not self.circuit.element(control).has_branch_current:
+                    raise self.fail(
+                        f"control element {control!r} carries no branch "
+                        f"current (use a voltage source)", line)
+
+    def node(self, token: str, prefix: str, node_map: dict[str, str]) -> str:
+        if is_ground(token):
+            return GROUND
+        mapped = node_map.get(token)
+        if mapped is not None:
+            return mapped
+        return f"{prefix}{token}"
+
+    def split(self, card: Card, n_nodes: int, prefix: str,
+              node_map: dict[str, str], *, exact: int | None = None):
+        """Card tail -> (mapped nodes, extra positionals, params)."""
+        positional, params = parse_params(
+            card.tokens[1:], self.deck.params,
+            deck=self.deck.name, line=card.line)
+        if len(positional) < n_nodes:
+            raise self.fail(
+                f"{card.tokens[0]!r} needs at least {n_nodes} nodes, "
+                f"got {len(positional)}", card.line)
+        if exact is not None and len(positional) != exact:
+            raise self.fail(
+                f"{card.tokens[0]!r} takes {exact} positional fields, "
+                f"got {len(positional)}: {card.text!r}", card.line)
+        nodes = [self.node(t, prefix, node_map) for t in positional[:n_nodes]]
+        return nodes, positional[n_nodes:], params
+
+    def value(self, token: str, line: int) -> float:
+        return eval_value(token, self.deck.params,
+                          deck=self.deck.name, line=line)
+
+    # -- two-terminal passives -----------------------------------------
+    def emit_r(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map, exact=3)
+        tc = params.pop("tc", (0.0, 0.0))
+        if not isinstance(tc, tuple):
+            tc = (tc, 0.0)
+        self.reject_params(card, params)
+        self.add(self.circuit.resistor, card, prefix + card.tokens[0],
+                 nodes[0], nodes[1], self.value(rest[0], card.line),
+                 tc1=tc[0], tc2=(tc[1] if len(tc) > 1 else 0.0))
+
+    def emit_c(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map, exact=3)
+        self.reject_params(card, params)
+        self.add(self.circuit.capacitor, card, prefix + card.tokens[0],
+                 nodes[0], nodes[1], self.value(rest[0], card.line))
+
+    def emit_l(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map, exact=3)
+        self.reject_params(card, params)
+        self.add(self.circuit.inductor, card, prefix + card.tokens[0],
+                 nodes[0], nodes[1], self.value(rest[0], card.line))
+
+    # -- independent sources -------------------------------------------
+    def parse_source(self, rest: list[str], line: int) -> dict:
+        out = {"dc": 0.0, "ac": 0.0, "ac_phase": 0.0, "wave": None}
+        i = 0
+        seen_any = False
+        while i < len(rest):
+            tok = rest[i]
+            if tok == "dc" and i + 1 < len(rest):
+                out["dc"] = self.value(rest[i + 1], line)
+                i += 2
+            elif tok == "ac" and i + 1 < len(rest):
+                out["ac"] = self.value(rest[i + 1], line)
+                i += 2
+                if i < len(rest) and parse_number(rest[i]) is not None:
+                    out["ac_phase"] = parse_number(rest[i])
+                    i += 1
+            elif tok.startswith("sin(") and tok.endswith(")"):
+                out["wave"] = self.parse_sine(tok[4:-1], line)
+                i += 1
+            elif tok.startswith("pulse(") and tok.endswith(")"):
+                out["wave"] = self.parse_pulse(tok[6:-1], line)
+                i += 1
+            elif tok.startswith("pwl(") and tok.endswith(")"):
+                out["wave"] = self.parse_pwl(tok[4:-1], line)
+                i += 1
+            elif not seen_any and parse_number(tok) is not None:
+                out["dc"] = parse_number(tok)
+                i += 1
+            else:
+                raise self.fail(f"bad source field {tok!r}", line)
+            seen_any = True
+        return out
+
+    def _wave_fields(self, body: str, line: int, what: str,
+                     minimum: int) -> list[float]:
+        tokens = body.split()
+        if len(tokens) < minimum:
+            raise self.fail(f"{what} needs at least {minimum} fields", line)
+        return [self.value(t, line) for t in tokens]
+
+    def parse_sine(self, body: str, line: int) -> Sine:
+        f = self._wave_fields(body, line, "SIN()", 3)
+        f += [0.0] * (6 - len(f))
+        if f[4] != 0.0:
+            raise self.fail("damped SIN() (theta != 0) is not supported", line)
+        return Sine(offset=f[0], amplitude=f[1], freq=f[2], delay=f[3],
+                    phase=f[5] * math.pi / 180.0)
+
+    def parse_pulse(self, body: str, line: int) -> Pulse:
+        f = self._wave_fields(body, line, "PULSE()", 7)
+        return Pulse(v1=f[0], v2=f[1], delay=f[2], rise=f[3], fall=f[4],
+                     width=f[5], period=f[6])
+
+    def parse_pwl(self, body: str, line: int) -> Pwl:
+        f = self._wave_fields(body, line, "PWL()", 2)
+        if len(f) % 2:
+            raise self.fail("PWL() needs time/value pairs", line)
+        return Pwl(times=tuple(f[0::2]), values=tuple(f[1::2]))
+
+    def emit_v(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map)
+        self.reject_params(card, params)
+        src = self.parse_source(rest, card.line)
+        self.add(self.circuit.vsource, card, prefix + card.tokens[0],
+                 nodes[0], nodes[1], **src)
+
+    def emit_i(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map)
+        self.reject_params(card, params)
+        src = self.parse_source(rest, card.line)
+        self.add(self.circuit.isource, card, prefix + card.tokens[0],
+                 nodes[0], nodes[1], **src)
+
+    # -- controlled sources --------------------------------------------
+    def emit_e(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 4, prefix, node_map, exact=5)
+        self.reject_params(card, params)
+        self.add(self.circuit.vcvs, card, prefix + card.tokens[0],
+                 *nodes, self.value(rest[0], card.line))
+
+    def emit_g(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 4, prefix, node_map, exact=5)
+        self.reject_params(card, params)
+        self.add(self.circuit.vccs, card, prefix + card.tokens[0],
+                 *nodes, self.value(rest[0], card.line))
+
+    def emit_f(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map, exact=4)
+        self.reject_params(card, params)
+        control = prefix + rest[0]
+        self.controls.append((control, card.line))
+        self.add(self.circuit.cccs, card, prefix + card.tokens[0],
+                 nodes[0], nodes[1], control=control,
+                 gain=self.value(rest[1], card.line))
+
+    def emit_h(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map, exact=4)
+        self.reject_params(card, params)
+        control = prefix + rest[0]
+        self.controls.append((control, card.line))
+        self.add(self.circuit.ccvs, card, prefix + card.tokens[0],
+                 nodes[0], nodes[1], control=control,
+                 transresistance=self.value(rest[1], card.line))
+
+    # -- devices -------------------------------------------------------
+    def _emit_mos(self, card: Card, name: str, nodes: list[str],
+                  model_name: str, params: dict) -> None:
+        model = resolve_mos_model(model_name, self.deck.models,
+                                  deck=self.deck.name, line=card.line)
+        w = params.pop("w", None)
+        length = params.pop("l", None)
+        mult = params.pop("m", 1.0)
+        nf = params.pop("nf", 1.0)
+        for key in list(params):
+            if key in _MOS_IGNORED:
+                params.pop(key)
+        self.reject_params(card, params)
+        kwargs = {"model": model, "m": int(round(mult)) * int(round(nf))}
+        if w is not None:
+            kwargs["w"] = w
+        if length is not None:
+            kwargs["l"] = length
+        self.add(self.circuit.mosfet, card, name, *nodes, **kwargs)
+
+    def emit_m(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 4, prefix, node_map, exact=5)
+        self._emit_mos(card, prefix + card.tokens[0], nodes, rest[0], params)
+
+    def emit_q(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 3, prefix, node_map)
+        if len(rest) not in (1, 2):
+            raise self.fail(f"Q card takes 3 nodes, a model and an "
+                            f"optional area: {card.text!r}", card.line)
+        self.reject_params(card, params)
+        model = self.deck.models.get(rest[0])
+        if not isinstance(model, BjtModel):
+            raise self.fail(f"unknown BJT model {rest[0]!r}", card.line)
+        area = self.value(rest[1], card.line) if len(rest) == 2 else 1.0
+        self.add(self.circuit.bjt, card, prefix + card.tokens[0],
+                 *nodes, model=model, area=area)
+
+    def emit_d(self, card: Card, prefix: str, node_map: dict) -> None:
+        nodes, rest, params = self.split(card, 2, prefix, node_map)
+        if len(rest) not in (1, 2):
+            raise self.fail(f"D card takes 2 nodes, a model and an "
+                            f"optional area: {card.text!r}", card.line)
+        self.reject_params(card, params)
+        model = self.deck.models.get(rest[0])
+        if not isinstance(model, DiodeModel):
+            raise self.fail(f"unknown diode model {rest[0]!r}", card.line)
+        area = self.value(rest[1], card.line) if len(rest) == 2 else 1.0
+        self.add(self.circuit.diode, card, prefix + card.tokens[0],
+                 *nodes, model=model, area=area)
+
+    # -- hierarchy -----------------------------------------------------
+    def emit_x(self, card: Card, prefix: str, node_map: dict,
+               stack: tuple[str, ...]) -> None:
+        positional, params = parse_params(
+            card.tokens[1:], self.deck.params,
+            deck=self.deck.name, line=card.line)
+        if not positional:
+            raise self.fail("X card needs nodes and a subcircuit/model name",
+                            card.line)
+        ref = positional[-1]
+        sub = self.deck.subckts.get(ref)
+        if sub is not None:
+            if params:
+                raise self.fail(
+                    f"subcircuit parameter overrides are not supported "
+                    f"(got {sorted(params)!r}); use .param", card.line)
+            if len(positional) - 1 != len(sub.ports):
+                raise self.fail(
+                    f"instance of {ref!r} connects {len(positional) - 1} "
+                    f"nodes but the subcircuit has {len(sub.ports)} ports",
+                    card.line)
+            if ref in stack:
+                raise self.fail(f"recursive subcircuit instantiation "
+                                f"of {ref!r}", card.line)
+            if len(stack) >= MAX_DEPTH:
+                raise self.fail(f"subcircuit nesting deeper than "
+                                f"{MAX_DEPTH}", card.line)
+            inst_prefix = f"{prefix}{card.tokens[0]}."
+            child_map = {
+                port: self.node(tok, prefix, node_map)
+                for port, tok in zip(sub.ports, positional[:-1])
+            }
+            self.emit(sub.cards, inst_prefix, child_map, stack + (ref,))
+            return
+        # Not a defined subcircuit: an X card with exactly d/g/s/b nodes
+        # and a resolvable MOS model name is a MOS primitive (the
+        # exemplar decks' XM1 ... nmos_rvt idiom).
+        if len(positional) == 5:
+            nodes = [self.node(t, prefix, node_map) for t in positional[:4]]
+            self._emit_mos(card, prefix + card.tokens[0], nodes, ref,
+                           dict(params))
+            return
+        known = sorted(self.deck.subckts)
+        hint = f"; defined subcircuits: {known}" if known else ""
+        raise self.fail(f"unknown subcircuit {ref!r}{hint}", card.line)
+
+    def reject_params(self, card: Card, params: dict) -> None:
+        if params:
+            raise self.fail(
+                f"unsupported parameter(s) {sorted(params)} on "
+                f"{card.tokens[0]!r}", card.line)
+
+
+def _pick_top(deck: Deck, top: str | None) -> tuple[list[Card], str | None]:
+    if top is not None:
+        sub = deck.subckts.get(top)
+        if sub is None:
+            raise IngestError(
+                f"no .subckt named {top!r}; defined: {sorted(deck.subckts)}",
+                deck=deck.name)
+        return sub.cards, top
+    if deck.cards:
+        return deck.cards, None
+    if len(deck.subckts) == 1:
+        name = next(iter(deck.subckts))
+        return deck.subckts[name].cards, name
+    if deck.subckts:
+        raise IngestError(
+            f"deck has no top-level cards and several subcircuits; "
+            f"pick one with top=: {sorted(deck.subckts)}", deck=deck.name)
+    raise IngestError("deck has no device cards", deck=deck.name)
+
+
+def elaborate(deck: Deck, top: str | None = None) -> CompiledDeck:
+    """Flatten a parsed deck into a :class:`Circuit`."""
+    cards, picked = _pick_top(deck, top)
+    elab = _Elaborator(deck)
+    elab.emit(cards, "", {}, ())
+    if not len(elab.circuit):
+        raise IngestError("deck elaborated to an empty circuit",
+                          deck=deck.name)
+    return CompiledDeck(circuit=elab.circuit, deck=deck, top=picked)
+
+
+def compile_deck(text: str, name: str = "deck",
+                 top: str | None = None) -> CompiledDeck:
+    """Parse + elaborate deck text in one call."""
+    return elaborate(parse_deck(text, name), top=top)
+
+
+def canonicalize_deck(text: str, name: str = "deck",
+                      top: str | None = None) -> str:
+    """Canonical flattened deck for store keys: whitespace, comments,
+    card order of semantically identical decks all normalise away."""
+    return compile_deck(text, name, top).canonical()

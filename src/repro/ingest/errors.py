@@ -1,0 +1,28 @@
+"""Ingest error type: every failure is one line with a deck:line anchor.
+
+The serve layer answers HTTP 400 with the message body and the CLI
+prints it after ``error:`` — neither ever shows a traceback — so the
+message must carry everything a user needs to fix the deck: the deck
+name, the *physical* line number of the offending card (the first line
+of a continued card) and a short description.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+def one_line(message: str) -> str:
+    """Collapse whitespace so the message survives as a single line."""
+    return re.sub(r"\s+", " ", str(message)).strip()
+
+
+class IngestError(ValueError):
+    """A malformed SPICE deck. ``str()`` is ``<deck>:<line>: <message>``."""
+
+    def __init__(self, message: str, *, deck: str = "deck",
+                 line: int | None = None):
+        self.deck = deck
+        self.line = line
+        where = f"{deck}:{line}" if line is not None else deck
+        super().__init__(f"{where}: {one_line(message)}")

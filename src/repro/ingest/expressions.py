@@ -1,0 +1,128 @@
+"""Safe arithmetic for ``.PARAM`` and ``{...}`` / ``'...'`` expressions.
+
+SPICE parameter expressions are plain arithmetic over earlier parameters
+(``.param cl=2p  rbig='10k*4'  w={2*wmin}``).  We evaluate them with a
+whitelisted ``ast`` walk — names resolve against the parameter
+environment, engineering-suffixed literals (``10k``) are rewritten to
+plain floats before parsing, and only arithmetic operators plus a small
+set of math functions are allowed.  No attribute access, no subscripts,
+no calls to anything outside the table: deck text can never execute
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+
+from repro.ingest.errors import IngestError
+from repro.ingest.numbers import parse_number
+
+#: Functions callable from deck expressions.
+_FUNCTIONS = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "log10": math.log10,
+    "pow": pow,
+    "sin": math.sin,
+    "cos": math.cos,
+    "atan": math.atan,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.Pow: lambda a, b: a ** b,
+    ast.Mod: lambda a, b: a % b,
+    ast.FloorDiv: lambda a, b: a // b,
+}
+
+#: A numeric literal with an engineering suffix, to rewrite before ast.parse
+#: (``10k`` is not valid Python).  Must not touch identifiers (``m1``) —
+#: the literal has to *start* with a digit or dot-digit — nor the ``e``
+#: of a plain exponent (handled inside the match).
+_SUFFIXED = re.compile(
+    r"(?<![\w.])((?:\d+\.?\d*|\.\d+)(?:e[+-]?\d+)?[a-z]+)\b"
+)
+
+
+def _rewrite_literals(text: str, deck: str, line: int | None) -> str:
+    def repl(m: re.Match) -> str:
+        value = parse_number(m.group(1))
+        if value is None:
+            raise IngestError(f"bad numeric literal {m.group(1)!r}",
+                              deck=deck, line=line)
+        return repr(value)
+
+    return _SUFFIXED.sub(repl, text)
+
+
+def _eval_node(node: ast.AST, env: dict, deck: str, line: int | None) -> float:
+    if isinstance(node, ast.Expression):
+        return _eval_node(node.body, env, deck, line)
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    if isinstance(node, ast.Name):
+        try:
+            return float(env[node.id])
+        except KeyError:
+            raise IngestError(f"unknown parameter {node.id!r}",
+                              deck=deck, line=line) from None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        value = _eval_node(node.operand, env, deck, line)
+        return value if isinstance(node.op, ast.UAdd) else -value
+    if isinstance(node, ast.BinOp) and type(node.op) in _BINOPS:
+        left = _eval_node(node.left, env, deck, line)
+        right = _eval_node(node.right, env, deck, line)
+        return float(_BINOPS[type(node.op)](left, right))
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in _FUNCTIONS and not node.keywords:
+        args = [_eval_node(a, env, deck, line) for a in node.args]
+        return float(_FUNCTIONS[node.func.id](*args))
+    raise IngestError(f"unsupported expression construct "
+                      f"{type(node).__name__}", deck=deck, line=line)
+
+
+def eval_expr(text: str, env: dict, *, deck: str = "deck",
+              line: int | None = None) -> float:
+    """Evaluate an expression body (no surrounding braces/quotes)."""
+    direct = parse_number(text.strip())
+    if direct is not None:
+        return direct
+    rewritten = _rewrite_literals(text.strip(), deck, line)
+    try:
+        tree = ast.parse(rewritten, mode="eval")
+    except SyntaxError as exc:
+        raise IngestError(f"bad expression {text!r}: {exc.msg}",
+                          deck=deck, line=line) from None
+    try:
+        return _eval_node(tree, env, deck, line)
+    except (ZeroDivisionError, OverflowError, ValueError) as exc:
+        if isinstance(exc, IngestError):
+            raise
+        raise IngestError(f"expression {text!r} failed: {exc}",
+                          deck=deck, line=line) from None
+
+
+def eval_value(token: str, env: dict, *, deck: str = "deck",
+               line: int | None = None) -> float:
+    """Evaluate a value token: a number, ``{expr}``, ``'expr'`` or a
+    bare parameter/expression reference."""
+    value = parse_number(token)
+    if value is not None:
+        return value
+    body = token
+    if token.startswith("{") and token.endswith("}"):
+        body = token[1:-1]
+    elif token.startswith("'") and token.endswith("'"):
+        body = token[1:-1]
+    return eval_expr(body, env, deck=deck, line=line)

@@ -1,0 +1,156 @@
+"""Deck lexer: physical lines -> logical cards -> tokens.
+
+SPICE decks are line-oriented with three wrinkles this module absorbs so
+the parser sees clean token lists:
+
+* ``+`` in column 1 continues the previous card;
+* ``*`` as the first non-blank character comments out the whole line,
+  and ``;`` / ``$ `` start inline comments;
+* parenthesised groups (``SIN(0 1m 1k)``, ``.model``'s ``(...)`` body),
+  ``{...}`` brace expressions and ``'...'`` quoted expressions are each
+  one token even when they contain spaces.
+
+SPICE is case-insensitive, so every card is lowercased before
+tokenizing; node and element names therefore come out lowercase
+(a documented part of the canonical form — see
+:mod:`repro.ingest.elaborate`).  Unlike classic SPICE the first line is
+*not* swallowed as a title: the decks this front door accepts are
+subcircuit libraries whose first line is usually a card or a ``*``
+comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ingest.errors import IngestError
+
+
+@dataclass
+class Card:
+    """One logical deck line: its tokens plus the physical line number."""
+
+    line: int                 # physical line of the card's first line (1-based)
+    tokens: list[str] = field(default_factory=list)
+    text: str = ""            # the assembled logical line, for diagnostics
+
+    @property
+    def kind(self) -> str:
+        """Leading character (device letter or ``.`` for dot cards)."""
+        return self.tokens[0][0] if self.tokens else ""
+
+
+def _strip_inline_comment(line: str) -> str:
+    """Drop ``;`` and ``$ `` inline comments (outside quotes)."""
+    out = []
+    in_quote = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == "'":
+            in_quote = not in_quote
+        elif not in_quote:
+            if ch == ";":
+                break
+            if ch == "$" and (i + 1 == len(line) or line[i + 1] in " \t"):
+                break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def logical_lines(text: str, deck: str = "deck") -> list[tuple[int, str]]:
+    """Assemble ``(first_line_no, text)`` logical lines.
+
+    Comments and blanks are removed; ``+`` continuations are joined with
+    a single space.  A continuation with nothing to continue is an error.
+    """
+    lines: list[tuple[int, str]] = []
+    for no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        stripped = _strip_inline_comment(stripped).strip()
+        if not stripped:
+            continue
+        if stripped.startswith("+"):
+            if not lines:
+                raise IngestError("continuation '+' with no card to continue",
+                                  deck=deck, line=no)
+            first_no, prev = lines[-1]
+            lines[-1] = (first_no, prev + " " + stripped[1:].strip())
+        else:
+            lines.append((no, stripped))
+    return lines
+
+
+def tokenize(line: str, deck: str = "deck", line_no: int = 0) -> list[str]:
+    """Split one logical line into tokens (lowercased).
+
+    Whitespace separates tokens at depth 0; ``=`` is its own token (so
+    ``w=270n``, ``w = 270n`` and ``w =270n`` all tokenize identically);
+    ``(...)`` / ``{...}`` groups and ``'...'`` quotes are kept as single
+    tokens, attached to any prefix they follow (``sin(0 1 1k)``).
+    """
+    tokens: list[str] = []
+    buf: list[str] = []
+    depth = 0
+    brace = 0
+    in_quote = False
+    for ch in line.lower():
+        if in_quote:
+            buf.append(ch)
+            if ch == "'":
+                in_quote = False
+            continue
+        if brace:
+            buf.append(ch)
+            if ch == "{":
+                brace += 1
+            elif ch == "}":
+                brace -= 1
+            continue
+        if depth:
+            buf.append(ch)
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            continue
+        if ch == "'":
+            in_quote = True
+            buf.append(ch)
+        elif ch == "{":
+            brace = 1
+            buf.append(ch)
+        elif ch == "(":
+            depth = 1
+            buf.append(ch)
+        elif ch in " \t":
+            if buf:
+                tokens.append("".join(buf))
+                buf = []
+        elif ch == "=":
+            if buf:
+                tokens.append("".join(buf))
+                buf = []
+            tokens.append("=")
+        else:
+            buf.append(ch)
+    if depth or brace or in_quote:
+        what = "parenthesis" if depth else ("brace" if brace else "quote")
+        raise IngestError(f"unterminated {what} in {line!r}",
+                          deck=deck, line=line_no)
+    if buf:
+        tokens.append("".join(buf))
+    return tokens
+
+
+def lex(text: str, deck: str = "deck") -> list[Card]:
+    """Full lexer pass: deck text to a list of :class:`Card`."""
+    cards = []
+    for no, line in logical_lines(text, deck):
+        tokens = tokenize(line, deck, no)
+        if tokens:
+            cards.append(Card(line=no, tokens=tokens, text=line))
+    return cards

@@ -1,0 +1,119 @@
+"""``.MODEL`` cards -> engine device models, plus builtin fallbacks.
+
+The mapping mirrors :mod:`repro.spice.export` exactly, so an exported
+deck re-ingests onto the same model objects: LEVEL=1 MOS cards carry
+VTO/KP/GAMMA/PHI/LAMBDA/KF/AF/CGSO/CGDO (``clm = LAMBDA * 5e-6``, the
+representative length the exporter divides by), bipolar cards carry
+IS/BF/BR/VAF/XTI/EG and diode cards IS/N/XTI/EG.  Parameters the engine
+has no use for (TOX, CJ0, RS, ...) are ignored — real foundry decks
+carry dozens and erroring on them would make the front door useless.
+
+Decks that name a model without defining it (the OTA/diff-amp/comparator
+exemplars use bare ``nmos_rvt`` / ``pmos_rvt``) fall back to a builtin
+generic: any undefined MOS model name containing ``nmos`` or ``pmos``
+resolves to the corresponding 1.2 um generic device.  The builtin
+``clm`` is pre-stabilised under the exporter's ``clm/5e-6`` LAMBDA round
+trip so export -> re-ingest reproduces bit-identical MNA stamps.
+"""
+
+from __future__ import annotations
+
+from repro.ingest.errors import IngestError
+from repro.spice.devices.bjt import BjtModel
+from repro.spice.devices.diode import DiodeModel
+from repro.spice.devices.mosfet import MosModel
+
+#: Representative channel length the exporter folds into LAMBDA.
+_LAMBDA_LREF = 5e-6
+
+
+def _lambda_stable(clm: float) -> float:
+    """Fixed point of ``clm -> (clm / LREF) * LREF`` (export round trip)."""
+    for _ in range(4):
+        nxt = (clm / _LAMBDA_LREF) * _LAMBDA_LREF
+        if nxt == clm:
+            break
+        clm = nxt
+    return clm
+
+
+def _builtin_mos(name: str) -> MosModel | None:
+    """Generic MOS for an undefined model name, by polarity substring."""
+    if "pmos" in name:
+        return MosModel(name=name, polarity="pmos", kp=30e-6,
+                        clm=_lambda_stable(0.06e-6))
+    if "nmos" in name:
+        return MosModel(name=name, polarity="nmos", kp=90e-6,
+                        clm=_lambda_stable(0.06e-6))
+    return None
+
+
+def _num_params(params: dict[str, float], card_params: dict[str, float],
+                mapping: dict[str, str]) -> None:
+    for spice_key, field in mapping.items():
+        if spice_key in card_params:
+            params[field] = card_params[spice_key]
+
+
+def mos_model_from_card(name: str, kind: str, card_params: dict[str, float],
+                        *, deck: str, line: int) -> MosModel:
+    polarity = "nmos" if kind == "nmos" else "pmos"
+    kwargs: dict = {"name": name, "polarity": polarity}
+    if polarity == "pmos":
+        kwargs["kp"] = 30e-6   # generic PMOS default when the card omits KP
+    if "vto" in card_params:
+        vto = card_params["vto"]
+        kwargs["vth0"] = abs(vto)   # engine stores the magnitude
+    if "lambda" in card_params:
+        kwargs["clm"] = card_params["lambda"] * _LAMBDA_LREF
+    _num_params(kwargs, card_params, {
+        "kp": "kp", "gamma": "gamma", "phi": "phi", "kf": "kf",
+        "af": "af", "cgso": "cgso", "cgdo": "cgdo",
+    })
+    try:
+        return MosModel(**kwargs)
+    except ValueError as exc:
+        raise IngestError(f"bad .model {name!r}: {exc}",
+                          deck=deck, line=line) from None
+
+
+def bjt_model_from_card(name: str, kind: str, card_params: dict[str, float],
+                        *, deck: str, line: int) -> BjtModel:
+    kwargs: dict = {"name": name, "polarity": kind}
+    _num_params(kwargs, card_params, {
+        "is": "is_sat", "bf": "beta_f", "br": "beta_r", "vaf": "vaf",
+        "xti": "xti", "eg": "eg", "kf": "kf", "af": "af",
+    })
+    try:
+        return BjtModel(**kwargs)
+    except ValueError as exc:
+        raise IngestError(f"bad .model {name!r}: {exc}",
+                          deck=deck, line=line) from None
+
+
+def diode_model_from_card(name: str, card_params: dict[str, float],
+                          *, deck: str, line: int) -> DiodeModel:
+    kwargs: dict = {"name": name}
+    _num_params(kwargs, card_params, {
+        "is": "is_sat", "n": "n_ideality", "xti": "xti", "eg": "eg",
+        "kf": "kf", "af": "af",
+    })
+    return DiodeModel(**kwargs)
+
+
+def resolve_mos_model(name: str, models: dict, *, deck: str,
+                      line: int) -> MosModel:
+    """A deck-defined MOS model, or the builtin generic fallback."""
+    model = models.get(name)
+    if model is not None:
+        if not isinstance(model, MosModel):
+            raise IngestError(f"model {name!r} is not a MOS model",
+                              deck=deck, line=line)
+        return model
+    builtin = _builtin_mos(name)
+    if builtin is None:
+        raise IngestError(
+            f"unknown MOS model {name!r} (no .model card, and the name "
+            f"does not contain 'nmos'/'pmos' for the builtin generic)",
+            deck=deck, line=line)
+    return builtin

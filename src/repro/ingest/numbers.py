@@ -1,0 +1,48 @@
+"""SPICE number literals: engineering suffixes and trailing unit letters.
+
+``270n``, ``540e-9``, ``1meg``, ``4.7k``, ``10pF`` all parse; the scale
+suffix is the *first* letters after the mantissa (``meg``/``mil`` checked
+before the single-letter scales) and anything after it — ``f`` in
+``10pF``, ``ohm`` in ``1kohm`` — is a unit annotation SPICE ignores.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Engineering scale factors, longest-match first (meg before m!).
+_SCALES = (
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+)
+
+_NUMBER_RE = re.compile(
+    r"^([+-]?(?:\d+\.?\d*|\.\d+)(?:e[+-]?\d+)?)([a-z]*)$"
+)
+
+
+def parse_number(token: str):
+    """``float`` value of a SPICE numeric token, or ``None`` if it isn't one.
+
+    The token must already be lowercase (the lexer lowercases cards).
+    """
+    m = _NUMBER_RE.match(token)
+    if m is None:
+        return None
+    base, tail = m.groups()
+    value = float(base)
+    if not tail:
+        return value
+    for suffix, scale in _SCALES:
+        if tail.startswith(suffix):
+            return value * scale
+    # No scale prefix: the tail is a bare unit annotation ("v", "hz").
+    return value

@@ -1,0 +1,182 @@
+"""Deck parser: cards -> a :class:`Deck` AST.
+
+The parser is purely structural — it sorts cards into top-level device
+cards, ``.subckt`` bodies, ``.model`` definitions and the (eagerly
+evaluated, file-ordered) ``.param`` environment.  Device semantics —
+node mapping, model resolution, hierarchy flattening — live in
+:mod:`repro.ingest.elaborate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ingest.errors import IngestError
+from repro.ingest.expressions import eval_value
+from repro.ingest.lexer import Card, lex, tokenize
+from repro.ingest.models import (
+    bjt_model_from_card,
+    diode_model_from_card,
+    mos_model_from_card,
+)
+
+#: Device card letters the elaborator understands.
+DEVICE_LETTERS = frozenset("mqdrclviegfhx")
+
+_MODEL_KINDS = ("nmos", "pmos", "npn", "pnp", "d")
+
+
+@dataclass
+class Subckt:
+    """A ``.subckt`` definition: ports plus its body cards."""
+
+    name: str
+    ports: list[str]
+    cards: list[Card] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Deck:
+    """Parsed deck: top-level cards, subcircuits, models, parameters."""
+
+    name: str = "deck"
+    cards: list[Card] = field(default_factory=list)
+    subckts: dict[str, Subckt] = field(default_factory=dict)
+    models: dict[str, object] = field(default_factory=dict)
+    params: dict[str, float] = field(default_factory=dict)
+
+
+def parse_params(tokens: list[str], env: dict, *, deck: str,
+                 line: int) -> tuple[list[str], dict[str, float]]:
+    """Split a token tail into positional tokens and ``key=value`` params.
+
+    Values are evaluated immediately (numbers, suffixes, expressions
+    against ``env``).  ``tc=a,b``-style comma pairs are returned under
+    the key with a tuple value.
+    """
+    positional: list[str] = []
+    params: dict = {}
+    i = 0
+    while i < len(tokens):
+        if i + 1 < len(tokens) and tokens[i + 1] == "=":
+            if i + 2 >= len(tokens):
+                raise IngestError(f"missing value after {tokens[i]!r}=",
+                                  deck=deck, line=line)
+            key, raw = tokens[i], tokens[i + 2]
+            if "," in raw:
+                params[key] = tuple(
+                    eval_value(part, env, deck=deck, line=line)
+                    for part in raw.split(",") if part
+                )
+            else:
+                params[key] = eval_value(raw, env, deck=deck, line=line)
+            i += 3
+        elif tokens[i] == "=":
+            raise IngestError("stray '=' (missing parameter name)",
+                              deck=deck, line=line)
+        else:
+            positional.append(tokens[i])
+            i += 1
+    return positional, params
+
+
+def _parse_model_card(card: Card, deck: Deck) -> None:
+    # .model <name> <kind> (<params>)  |  .model <name> <kind> <params...>
+    tokens = card.tokens[1:]
+    if len(tokens) < 2:
+        raise IngestError(".model needs a name and a type",
+                          deck=deck.name, line=card.line)
+    name, kind = tokens[0], tokens[1]
+    if kind not in _MODEL_KINDS:
+        raise IngestError(f"unsupported .model type {kind!r} "
+                          f"(one of {', '.join(_MODEL_KINDS)})",
+                          deck=deck.name, line=card.line)
+    tail = tokens[2:]
+    if len(tail) == 1 and tail[0].startswith("(") and tail[0].endswith(")"):
+        tail = tokenize(tail[0][1:-1], deck.name, card.line)
+    _, params = parse_params(tail, deck.params, deck=deck.name,
+                             line=card.line)
+    params.pop("level", None)   # only LEVEL=1-style cards are modelled
+    if name in deck.models:
+        raise IngestError(f"duplicate .model {name!r}",
+                          deck=deck.name, line=card.line)
+    if kind in ("nmos", "pmos"):
+        deck.models[name] = mos_model_from_card(
+            name, kind, params, deck=deck.name, line=card.line)
+    elif kind in ("npn", "pnp"):
+        deck.models[name] = bjt_model_from_card(
+            name, kind, params, deck=deck.name, line=card.line)
+    else:
+        deck.models[name] = diode_model_from_card(
+            name, params, deck=deck.name, line=card.line)
+
+
+def _parse_param_card(card: Card, deck: Deck) -> None:
+    _, params = parse_params(card.tokens[1:], deck.params,
+                             deck=deck.name, line=card.line)
+    if not params:
+        raise IngestError(".param needs name=value assignments",
+                          deck=deck.name, line=card.line)
+    for key, value in params.items():
+        if isinstance(value, tuple):
+            raise IngestError(f"parameter {key!r} cannot be a comma list",
+                              deck=deck.name, line=card.line)
+        deck.params[key] = value
+
+
+def parse_deck(text: str, name: str = "deck") -> Deck:
+    """Parse deck text into a :class:`Deck` (no elaboration yet)."""
+    deck = Deck(name=name)
+    current: Subckt | None = None
+    for card in lex(text, name):
+        head = card.tokens[0]
+        if head.startswith("."):
+            if head == ".subckt":
+                if current is not None:
+                    raise IngestError(
+                        f"nested .subckt (still inside {current.name!r})",
+                        deck=name, line=card.line)
+                if len(card.tokens) < 2:
+                    raise IngestError(".subckt needs a name",
+                                      deck=name, line=card.line)
+                sub = Subckt(name=card.tokens[1], ports=card.tokens[2:],
+                             line=card.line)
+                if sub.name in deck.subckts:
+                    raise IngestError(f"duplicate .subckt {sub.name!r}",
+                                      deck=name, line=card.line)
+                deck.subckts[sub.name] = sub
+                current = sub
+            elif head == ".ends":
+                if current is None:
+                    raise IngestError(".ends without .subckt",
+                                      deck=name, line=card.line)
+                if len(card.tokens) > 1 and card.tokens[1] != current.name:
+                    raise IngestError(
+                        f".ends {card.tokens[1]} does not close "
+                        f".subckt {current.name}",
+                        deck=name, line=card.line)
+                current = None
+            elif head == ".model":
+                _parse_model_card(card, deck)
+            elif head == ".param":
+                _parse_param_card(card, deck)
+            elif head == ".end":
+                break
+            else:
+                raise IngestError(f"unsupported card {head!r}",
+                                  deck=name, line=card.line)
+        else:
+            if head[0] not in DEVICE_LETTERS:
+                raise IngestError(
+                    f"unknown device card {head!r} (expected one of "
+                    f"{''.join(sorted(DEVICE_LETTERS)).upper()} or a dot card)",
+                    deck=name, line=card.line)
+            if len(head) < 2:
+                raise IngestError(f"device card {head!r} needs a name after "
+                                  f"the type letter", deck=name, line=card.line)
+            (current.cards if current is not None else deck.cards).append(card)
+    if current is not None:
+        raise IngestError(f".subckt {current.name!r} is never closed "
+                          f"(missing .ends)", deck=name, line=current.line)
+    return deck

@@ -20,6 +20,20 @@ Campaign request schema (JSON object; every key optional)::
      "measurements": ["offset_v", "iq_ma"],
      "builder_kwargs": {"i_in_ua": 320.0}}
 
+Instead of naming a registered builder, a campaign request may carry a
+``netlist`` circuit source — an external SPICE deck compiled through
+:mod:`repro.ingest` (selects the ``ingested`` builder)::
+
+    {"netlist": {"deck": "<SPICE deck text>",
+                 "binding": {"ports": {"vdd": {"dc": 2.5}},
+                             "outputs": ["vout"], "supply": "vdd"},
+                 "top": "ota_5t"},               // optional
+     "measurements": ["offset_v", "iq_ma", "gain_1khz_db"]}
+
+The deck is canonicalised (parsed, flattened, re-exported) at
+validation time, so store keys are content-addressed on the circuit,
+not on the submitted text.
+
 Optimize request schema (JSON object; every key optional)::
 
     {"budget": 60, "seed": 2026, "mode": "feasibility",
@@ -72,14 +86,44 @@ def _axis_list(payload: dict, key: str):
 
 
 _CAMPAIGN_KEYS = ("builder", "corners", "temps_c", "supplies", "seeds",
-                  "gain_codes", "measurements", "builder_kwargs")
+                  "gain_codes", "measurements", "builder_kwargs", "netlist")
+_NETLIST_KEYS = ("deck", "binding", "top")
+
+
+def _netlist_builder_kwargs(src: dict) -> dict:
+    """Canonicalise a ``netlist`` circuit source into ``ingested``
+    builder kwargs.
+
+    ``{"deck": "<SPICE text>", "binding": {...}, "top": "name"}``
+    compiles (and flattens) right here so a malformed deck is a 400/exit-2
+    one-liner at submission time, and so the builder_kwargs — and hence
+    the store keys — carry the *canonical flattened* deck: two textual
+    variants of the same circuit coalesce to the same cache entry.
+    """
+    from repro.ingest import IngestError, canonical_binding, canonicalize_deck
+
+    src = _require_object(src, "campaign key 'netlist'")
+    _check_keys(src, _NETLIST_KEYS, "netlist")
+    if not isinstance(src.get("deck"), str) or not src["deck"].strip():
+        raise _fail("netlist key 'deck' must be the SPICE deck text")
+    top = src.get("top")
+    if top is not None and not isinstance(top, str):
+        raise _fail("netlist key 'top' must be a subcircuit name")
+    try:
+        deck = canonicalize_deck(src["deck"], name="netlist", top=top)
+        binding = canonical_binding(src.get("binding", {}))
+    except IngestError as exc:
+        raise _fail(str(exc)) from exc
+    return {"netlist": deck, "binding": binding}
 
 
 def campaign_spec_from_dict(payload) -> CampaignSpec:
     """Validate a campaign request object into a :class:`CampaignSpec`.
 
     ``"all"`` is accepted for ``corners`` (every registered corner, in
-    registry order), matching the CLI flag.  Anything the spec's own
+    registry order), matching the CLI flag.  A ``netlist`` circuit
+    source selects the ``ingested`` builder and is incompatible with an
+    explicit ``builder``/``builder_kwargs``.  Anything the spec's own
     constructor rejects — unknown corners, builders, measurements, empty
     axes, non-numeric entries — surfaces as a one-line
     :class:`SpecValidationError`, never a traceback.
@@ -87,6 +131,13 @@ def campaign_spec_from_dict(payload) -> CampaignSpec:
     payload = _require_object(payload, "campaign request")
     _check_keys(payload, _CAMPAIGN_KEYS, "campaign request")
     kwargs: dict = {}
+    if "netlist" in payload:
+        for key in ("builder", "builder_kwargs"):
+            if key in payload:
+                raise _fail(f"campaign key 'netlist' is a circuit source of "
+                            f"its own; drop the explicit {key!r} key")
+        kwargs["builder"] = "ingested"
+        kwargs["builder_kwargs"] = _netlist_builder_kwargs(payload["netlist"])
     if "builder" in payload:
         if not isinstance(payload["builder"], str):
             raise _fail("campaign key 'builder' must be a string")

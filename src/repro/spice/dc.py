@@ -4,6 +4,12 @@ Newton-Raphson with componentwise voltage limiting, falling back to gmin
 stepping and then source stepping.  The paper's circuits (bandgap with a
 degenerate zero-current state, class-AB loops) exercise all three paths;
 builders provide nodesets so the common case converges directly.
+
+Systems above :attr:`repro.spice.mna.MnaSystem.sparse_threshold` nodes
+(large ingested netlists) take a SuperLU sparse linear step instead of
+dense LAPACK, gated per step by the scaled-residual acceptance check and
+falling back to the dense path on any doubt; smaller systems never touch
+the sparse code and stay bit-identical to the historical behaviour.
 """
 
 from __future__ import annotations
@@ -161,6 +167,43 @@ class OperatingPoint:
         ]
 
 
+def _sparse_newton_step(
+    system: MnaSystem, x: np.ndarray, rhs: np.ndarray, gmin: float
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """One ``splu``-backed Newton linearisation, or ``None`` for dense.
+
+    Assembles the reduced Jacobian in CSC form and factorizes it with
+    SuperLU.  The step is accepted only if the linear solve passes the
+    same scaled-residual gate the spectral AC path uses
+    (:data:`repro.spice.linsolve.SPECTRAL_RESIDUAL_TOL`); a singular
+    factorization, non-finite step or gate rejection returns ``None``
+    and the caller finishes the solve on the dense LAPACK path.
+    """
+    try:
+        from scipy.sparse.linalg import splu
+    except ImportError:                     # pragma: no cover - scipy baked in
+        return None
+    from repro.spice.linsolve import SPECTRAL_RESIDUAL_TOL
+
+    n = system.size
+    a, resid, _ = system.assemble_csc(x, rhs, gmin=gmin)
+    r = resid[:n]
+    try:
+        with np.errstate(all="ignore"):
+            dx = splu(a).solve(-r)
+    except (RuntimeError, ValueError):
+        return None
+    if not np.all(np.isfinite(dx)):
+        return None
+    lin_resid = float(np.abs(a @ dx + r).max())
+    a_norm = float(np.abs(a).sum(axis=1).max())
+    x_norm = float(np.abs(dx).max())
+    b_norm = float(np.abs(r).max()) + 1e-300
+    if lin_resid > SPECTRAL_RESIDUAL_TOL * (a_norm * x_norm + b_norm):
+        return None
+    return dx, resid
+
+
 def _newton(
     system: MnaSystem,
     x0: np.ndarray,
@@ -172,19 +215,26 @@ def _newton(
     n = system.size
     x = x0.copy()
     x[system.ground_index] = 0.0
+    use_sparse = bool(getattr(system, "prefer_sparse", False))
 
     for iteration in range(1, options.max_iterations + 1):
-        jac, resid, _ = system.assemble(x, rhs, gmin=gmin)
-        a = jac[:n, :n]
-        r = resid[:n]
-        try:
-            dx = np.linalg.solve(a, -r)
-        except np.linalg.LinAlgError:
-            a = a + np.eye(n) * 1e-12
+        step = _sparse_newton_step(system, x, rhs, gmin) if use_sparse else None
+        if use_sparse and step is None:
+            use_sparse = False  # fall back to dense for the rest of this solve
+        if step is not None:
+            dx, resid = step
+        else:
+            jac, resid, _ = system.assemble(x, rhs, gmin=gmin)
+            a = jac[:n, :n]
+            r = resid[:n]
             try:
                 dx = np.linalg.solve(a, -r)
             except np.linalg.LinAlgError:
-                return False, x, iteration
+                a = a + np.eye(n) * 1e-12
+                try:
+                    dx = np.linalg.solve(a, -r)
+                except np.linalg.LinAlgError:
+                    return False, x, iteration
         if not np.all(np.isfinite(dx)):
             return False, x, iteration
 

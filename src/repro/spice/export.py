@@ -63,6 +63,25 @@ def _fmt(value: float) -> str:
     return repr(v)  # unreachable: .17g always round-trips
 
 
+def _control_card_name(circuit: Circuit, control: str) -> str:
+    """Card name of an F/H control element, prefixed by its real type.
+
+    The control of a current-controlled source is any branch-current
+    element — a V source, but also an E/H source or an inductor.  The
+    old export hardcoded the ``V`` prefix, producing dangling references
+    for the other three; emit the prefix the control element actually
+    exports under so the reference resolves on re-ingest.
+    """
+    el = circuit.element(control)
+    if isinstance(el, Vcvs):
+        return f"E{control}"
+    if isinstance(el, Ccvs):
+        return f"H{control}"
+    if isinstance(el, Inductor):
+        return f"L{control}"
+    return f"V{control}"
+
+
 def _source_suffix(el: VoltageSource | CurrentSource) -> str:
     parts = [f"DC {_fmt(el.dc)}"]
     if el.ac:
@@ -151,14 +170,16 @@ def export_netlist(circuit: Circuit, title: str | None = None) -> str:
                       f"{_node(el.ncp)} {_node(el.ncn)} {_fmt(el.gm)}\n")
         elif isinstance(el, Cccs):
             out.write(f"F{el.name} {_node(el.np)} {_node(el.nn)} "
-                      f"V{el.control} {_fmt(el.gain)}\n")
+                      f"{_control_card_name(circuit, el.control)} "
+                      f"{_fmt(el.gain)}\n")
         elif isinstance(el, Ccvs):
             out.write(f"H{el.name} {_node(el.np)} {_node(el.nn)} "
-                      f"V{el.control} {_fmt(el.transresistance)}\n")
+                      f"{_control_card_name(circuit, el.control)} "
+                      f"{_fmt(el.transresistance)}\n")
         elif isinstance(el, Switch):
             # exported as the resistor it is modelled as
             out.write(f"R{el.name} {_node(el.n1)} {_node(el.n2)} "
-                      f"{_fmt(el.resistance)}  * switch "
+                      f"{_fmt(el.resistance)} ; switch "
                       f"({'on' if el.closed else 'off'})\n")
         elif isinstance(el, Mosfet):
             mos_models[el.model.name] = el.model

@@ -310,6 +310,8 @@ class SmallSignalContext:
         self.cache: dict = {}
         self._spectral: SpectralSolver | None = None
         self._spectral_dead = False
+        self._sparse_gc: tuple | None = None
+        self._sparse_dead = False
 
     def rhs_ac(self) -> np.ndarray:
         """Current AC excitation (reduced, no ground slot); treat as read-only."""
@@ -333,11 +335,19 @@ class SmallSignalContext:
     ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Batched forward/adjoint solve at this operating point.
 
-        Dense sweeps go through the cached Schur fast path; short probes
-        (and any sweep the residual check rejects) use the batched LU
-        path.  Both agree with the looped reference to well under 1e-9.
+        Systems above the sparse node threshold go through a per-
+        frequency SuperLU factorization first (one CSC factorization
+        serving the forward and the transposed adjoint solves).  Below
+        it, dense sweeps go through the cached Schur fast path and short
+        probes use the batched LU path; any rejected fast path falls
+        back down this ladder.  All paths agree with the looped
+        reference to well under 1e-9.
         """
         freqs = np.asarray(freqs, dtype=float)
+        if getattr(self.system, "prefer_sparse", False):
+            result = self._solve_sparse(freqs, rhs, adjoint_rhs)
+            if result is not None:
+                return result
         if freqs.size >= SPECTRAL_MIN_FREQS:
             solver = self.spectral()
             if solver is not None:
@@ -347,6 +357,74 @@ class SmallSignalContext:
                 # Rejection is per sweep (e.g. one near-degenerate grid);
                 # other grids on this context may still use the fast path.
         return solve_stacked(self.g, self.c, freqs, rhs, adjoint_rhs, chunk)
+
+    def _solve_sparse(
+        self,
+        freqs: np.ndarray,
+        rhs: np.ndarray | None,
+        adjoint_rhs: np.ndarray | None,
+    ) -> tuple[np.ndarray | None, np.ndarray | None] | None:
+        """Per-frequency ``splu`` solve for systems above the sparse
+        threshold.
+
+        ``G``/``C`` are cached once in CSC form; each frequency's
+        ``A = G + 2j*pi*f*C`` is factorized with SuperLU and the factors
+        serve every forward column and the transposed adjoint columns
+        (``trans="T"``).  Every solution passes the same scaled-residual
+        acceptance gate as :class:`SpectralSolver`; any failure marks
+        the path dead for this context and returns ``None`` so the
+        caller falls back to the dense ladder.
+        """
+        if self._sparse_dead:
+            return None
+        try:
+            from scipy import sparse
+            from scipy.sparse.linalg import splu
+        except ImportError:                 # pragma: no cover - scipy baked in
+            self._sparse_dead = True
+            return None
+        if self._sparse_gc is None:
+            self._sparse_gc = (sparse.csc_matrix(self.g), sparse.csc_matrix(self.c))
+        sg, sc = self._sparse_gc
+        n = self.n
+        bf = _as_rhs_matrix(rhs, n) if rhs is not None else None
+        ba = _as_rhs_matrix(adjoint_rhs, n) if adjoint_rhs is not None else None
+        fwd = np.empty((freqs.size, n, bf.shape[1]), dtype=complex) if bf is not None else None
+        adj = np.empty((freqs.size, n, ba.shape[1]), dtype=complex) if ba is not None else None
+
+        for k, f in enumerate(freqs):
+            a = (sg + (2j * np.pi * float(f)) * sc).tocsc()
+            try:
+                with np.errstate(all="ignore"):
+                    lu = splu(a)
+            except (RuntimeError, ValueError):
+                self._sparse_dead = True
+                return None
+            a_norm = float(np.abs(a).sum(axis=1).max())
+            at_norm = float(np.abs(a).sum(axis=0).max())
+            if bf is not None:
+                xk = lu.solve(bf)
+                if not self._sparse_accept(a, xk, bf, a_norm):
+                    self._sparse_dead = True
+                    return None
+                fwd[k] = xk
+            if ba is not None:
+                pk = lu.solve(ba, trans="T")
+                if not self._sparse_accept(a.T, pk, ba, at_norm):
+                    self._sparse_dead = True
+                    return None
+                adj[k] = pk
+        return fwd, adj
+
+    @staticmethod
+    def _sparse_accept(a, x: np.ndarray, b: np.ndarray, a_norm: float) -> bool:
+        """Scaled-residual acceptance for one sparse solve (per column)."""
+        if not np.all(np.isfinite(x)):
+            return False
+        resid = np.abs(a @ x - b).max(axis=0)
+        x_norm = np.abs(x).max(axis=0)
+        b_norm = np.abs(b).max(axis=0) + 1e-300
+        return bool(np.max(resid / (a_norm * x_norm + b_norm)) <= SPECTRAL_RESIDUAL_TOL)
 
     def ac_solutions(self, freqs: np.ndarray) -> np.ndarray:
         """Extended AC solutions (n_freq, size+1) for the current stimulus."""

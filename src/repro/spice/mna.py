@@ -131,6 +131,13 @@ def linear_stamp_values(circuit: Circuit, temp_c: float) -> tuple[list[float], l
 class MnaSystem:
     """A circuit compiled at a fixed temperature, ready for the solvers."""
 
+    #: Node count at or above which the solvers prefer the sparse
+    #: (CSC + ``splu``) assembly and solve paths over dense LAPACK.
+    #: A class attribute so tests and benchmarks can repoint it; below
+    #: the threshold nothing sparse ever runs, keeping the dense results
+    #: bit-identical to the historical behaviour.
+    sparse_threshold: int = 500
+
     def __init__(self, circuit: Circuit, temp_c: float = 25.0) -> None:
         self.circuit = circuit
         self.temp_c = temp_c
@@ -441,6 +448,14 @@ class MnaSystem:
         self._rhs_dc_cache: np.ndarray | None = None
         self._rhs_ac_key: tuple | None = None
         self._rhs_ac_cache: np.ndarray | None = None
+        # Static COO triplets of the reduced g_static, built lazily on the
+        # first assemble_csc call (dense-only systems never pay for it).
+        self._coo_static: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @property
+    def prefer_sparse(self) -> bool:
+        """True when this system is large enough for the sparse solvers."""
+        return self.num_nodes >= self.sparse_threshold
 
     # ------------------------------------------------------------------
     # Right-hand sides
@@ -559,16 +574,32 @@ class MnaSystem:
         return jac, resid, evals
 
     def _stamp_mos(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
+        self._mos_residual(resid, ev)
+        idx, vals = self._mos_jac_entries(ev)
+        np.add.at(jac.reshape(-1), idx.reshape(-1), vals.reshape(-1))
+
+    def _mos_residual(self, resid: np.ndarray, ev) -> None:
+        grp = self.mos_group
+        sw = ev.swapped
+        eff_d = np.where(sw, grp.s, grp.d)
+        eff_s = np.where(sw, grp.d, grp.s)
+        ids_into_eff_drain = grp.sign * ev.ids  # physical current into eff_d
+        np.add.at(resid, eff_d, ids_into_eff_drain)
+        np.add.at(resid, eff_s, -ids_into_eff_drain)
+
+    def _mos_jac_entries(self, ev) -> tuple[np.ndarray, np.ndarray]:
+        """Flat extended Jacobian (index, value) buffers for the MOS group.
+
+        Shared by the dense ``np.add.at`` stamp and the sparse COO
+        assembly; the returned (8, n_mos) buffers are reused every
+        iteration.
+        """
         grp = self.mos_group
         sw = ev.swapped
         eff_d = np.where(sw, grp.s, grp.d)
         eff_s = np.where(sw, grp.d, grp.s)
         gm, gds, gmb = ev.gm, ev.gds, ev.gmb
         gss = gm + gds + gmb
-        ids_into_eff_drain = grp.sign * ev.ids  # physical current into eff_d
-
-        np.add.at(resid, eff_d, ids_into_eff_drain)
-        np.add.at(resid, eff_s, -ids_into_eff_drain)
 
         # Only the effective row/column selection depends on the per-
         # iteration swap state; the row bases and scratch buffers come
@@ -592,30 +623,116 @@ class MnaSystem:
         np.negative(gm, out=vals[5])
         vals[6] = gss
         np.negative(gmb, out=vals[7])
-        np.add.at(jac.reshape(-1), idx.reshape(-1), vals.reshape(-1))
+        return idx, vals
 
     def _stamp_bjt(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
-        grp = self.bjt_group
-        c, b, e = grp.c, grp.b, grp.e
-        np.add.at(resid, c, ev.ic)
-        np.add.at(resid, b, ev.ib)
-        np.add.at(resid, e, -(ev.ic + ev.ib))
+        self._bjt_residual(resid, ev)
+        np.add.at(jac.reshape(-1), self._bjt_idx, self._bjt_jac_vals(ev))
 
+    def _bjt_residual(self, resid: np.ndarray, ev) -> None:
+        grp = self.bjt_group
+        np.add.at(resid, grp.c, ev.ic)
+        np.add.at(resid, grp.b, ev.ib)
+        np.add.at(resid, grp.e, -(ev.ic + ev.ib))
+
+    def _bjt_jac_vals(self, ev) -> np.ndarray:
         gm, gpi, go, gmu = ev.gm, ev.gpi, ev.go, ev.gmu
-        vals = np.concatenate([
+        return np.concatenate([
             gm - go, go, -gm,
             gpi + gmu, -gmu, -gpi,
             -(gm - go) - (gpi + gmu), -go + gmu, gm + gpi,
         ])
-        np.add.at(jac.reshape(-1), self._bjt_idx, vals)
 
     def _stamp_diode(self, jac: np.ndarray, resid: np.ndarray, ev) -> None:
+        self._diode_residual(resid, ev)
+        np.add.at(jac.reshape(-1), self._diode_idx, self._diode_jac_vals(ev))
+
+    def _diode_residual(self, resid: np.ndarray, ev) -> None:
         grp = self.diode_group
-        a, b = grp.np_idx, grp.nn_idx
-        np.add.at(resid, a, ev.current)
-        np.add.at(resid, b, -ev.current)
-        vals = np.concatenate([ev.gd, -ev.gd, -ev.gd, ev.gd])
-        np.add.at(jac.reshape(-1), self._diode_idx, vals)
+        np.add.at(resid, grp.np_idx, ev.current)
+        np.add.at(resid, grp.nn_idx, -ev.current)
+
+    def _diode_jac_vals(self, ev) -> np.ndarray:
+        return np.concatenate([ev.gd, -ev.gd, -ev.gd, ev.gd])
+
+    # ------------------------------------------------------------------
+    # Sparse assembly
+    # ------------------------------------------------------------------
+    def assemble_csc(
+        self, x_ext: np.ndarray, rhs_ext: np.ndarray, gmin: float = 0.0
+    ):
+        """Sparse analogue of :meth:`assemble` for large systems.
+
+        Returns ``(a, resid, evals)`` where ``a`` is the *reduced*
+        (size x size) Jacobian as a ``scipy.sparse`` CSC matrix (ground
+        row/column dropped, which is what the dense path's explicit
+        zeroing achieves) and ``resid`` is the extended residual exactly
+        as :meth:`assemble` computes it.  Device stamps reuse the same
+        (index, value) computations as the dense path; the only
+        numerical difference is COO duplicate-summation order, which the
+        sparse solvers' scaled-residual acceptance gate bounds.  Callers
+        should consult :attr:`prefer_sparse` — below the threshold the
+        dense path stays bit-identical to the historical behaviour.
+        """
+        from scipy import sparse
+
+        n = self.size
+        dim = n + 1
+        if self._coo_static is None:
+            rows, cols = np.nonzero(self.g_static[:n, :n])
+            self._coo_static = (
+                rows.astype(np.intp),
+                cols.astype(np.intp),
+                self.g_static[rows, cols].copy(),
+            )
+        srows, scols, svals = self._coo_static
+        rows_parts = [srows]
+        cols_parts = [scols]
+        vals_parts = [svals]
+
+        resid = self.g_static @ x_ext - rhs_ext
+        evals: dict = {}
+
+        if gmin > 0.0:
+            idx = np.arange(self.num_nodes, dtype=np.intp)
+            rows_parts.append(idx)
+            cols_parts.append(idx)
+            vals_parts.append(np.full(self.num_nodes, gmin))
+            resid[idx] += gmin * x_ext[idx]
+
+        def device(flat_idx: np.ndarray, vals: np.ndarray) -> None:
+            r, c = np.divmod(flat_idx, dim)
+            keep = (r < n) & (c < n)
+            rows_parts.append(r[keep])
+            cols_parts.append(c[keep])
+            vals_parts.append(vals[keep])
+
+        if self.mos_group is not None:
+            ev = self.mos_group.evaluate(x_ext)
+            evals["mos"] = ev
+            self._mos_residual(resid, ev)
+            idx, vals = self._mos_jac_entries(ev)
+            device(idx.reshape(-1), vals.reshape(-1))
+        if self.bjt_group is not None:
+            ev = self.bjt_group.evaluate(x_ext)
+            evals["bjt"] = ev
+            self._bjt_residual(resid, ev)
+            device(self._bjt_idx, self._bjt_jac_vals(ev))
+        if self.diode_group is not None:
+            ev = self.diode_group.evaluate(x_ext)
+            evals["diode"] = ev
+            self._diode_residual(resid, ev)
+            device(self._diode_idx, self._diode_jac_vals(ev))
+
+        resid[self.ground_index] = 0.0
+        a = sparse.coo_matrix(
+            (
+                np.concatenate(vals_parts),
+                (np.concatenate(rows_parts), np.concatenate(cols_parts)),
+            ),
+            shape=(n, n),
+        ).tocsc()
+        return a, resid, evals
 
     # ------------------------------------------------------------------
     # Small-signal linearisation and noise

@@ -9,6 +9,8 @@ bytes are the strictest practical surface — they capture values, key
 order, row order and float repr in one comparison.
 """
 
+import pathlib
+
 import pytest
 
 from repro.campaign import (
@@ -123,3 +125,50 @@ class TestPoolEquivalence:
         assert first.to_json() == serial_json["bias"]
         assert second.to_json() == serial_json["bias"]
         assert executor._pool is None
+
+
+def _ingested_spec() -> CampaignSpec:
+    """An external-deck campaign (the `ingested` builder is the one
+    registered builder with no batched implementation)."""
+    from repro.ingest import canonical_binding, canonicalize_deck
+
+    deck_dir = pathlib.Path(__file__).parent.parent / "ingest" / "decks"
+    return CampaignSpec(
+        builder="ingested", corners=("tt", "ss"), temps_c=(25.0, 85.0),
+        seeds=(None,), gain_codes=(None,),
+        measurements=("offset_v", "iq_ma", "gain_1khz_db"),
+        builder_kwargs={
+            "netlist": canonicalize_deck(
+                (deck_dir / "ota_5t.sp").read_text(), name="netlist"),
+            "binding": canonical_binding(
+                (deck_dir / "ota_5t.binding.json").read_text()),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def ingested_serial_json():
+    return run_campaign(_ingested_spec(), executor=SerialExecutor()).to_json()
+
+
+class TestIngestedEquivalence:
+    """The ingested builder is flagged non-batchable, so the batched
+    executor must route every unit through its per-unit serial fallback
+    — and all three executors must still export reference bytes."""
+
+    def test_batched_falls_back_per_unit(self, ingested_serial_json):
+        spec = _ingested_spec()
+        executor = BatchedCampaignExecutor()
+        result = run_campaign(spec, executor=executor)
+        assert result.to_json() == ingested_serial_json
+        assert executor.stats.get("batched_units", 0) == 0
+        assert executor.stats["fallback_units"] == spec.n_units
+
+    def test_pool_byte_identical(self, ingested_serial_json):
+        spec = _ingested_spec()
+        executor = ProcessPoolCampaignExecutor(max_workers=2)
+        try:
+            result = run_campaign(spec, executor=executor, chunk_size=3)
+        finally:
+            executor.close()
+        assert result.to_json() == ingested_serial_json

@@ -1,0 +1,95 @@
+"""Port bindings: validation, canonical form, and circuit wiring."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.ingest import (
+    apply_binding,
+    canonical_binding,
+    compile_deck,
+    parse_binding,
+    IngestError,
+)
+
+DECK_DIR = pathlib.Path(__file__).parent / "decks"
+
+
+def ota():
+    return compile_deck((DECK_DIR / "ota_5t.sp").read_text(),
+                        name="ota").circuit
+
+
+def ota_binding():
+    return (DECK_DIR / "ota_5t.binding.json").read_text()
+
+
+class TestParseBinding:
+    @pytest.mark.parametrize("bad,match", [
+        ('{"ports": []}', "'ports' must be an object"),
+        ('{"wires": {}}', "unknown key"),
+        ('{"ports": {"vdd": 1.2}}', "must map to an object"),
+        ('{"ports": {"vdd": {"volts": 1}}}', "unknown key"),
+        ('{"ports": {"vdd": {"dc": true}}}', "must be a number"),
+        ('{"outputs": "vout"}', "array of node names"),
+        ('{"outputs": ["a", "b", "c"]}', "one .single-ended. or two"),
+        ('{"supply": "vdd"}', "not in 'ports'"),
+        ('{"loads": {"vout": "1p"}}', "must be a number"),
+        ('not json', "not valid JSON"),
+    ])
+    def test_rejects_with_one_line(self, bad, match):
+        with pytest.raises(IngestError, match=match) as exc:
+            parse_binding(bad)
+        assert "\n" not in str(exc.value)
+
+    def test_accepts_object_or_text(self):
+        obj = {"ports": {"vdd": {"dc": 1.2}}, "outputs": ["o"]}
+        assert parse_binding(json.dumps(obj)) == parse_binding(obj)
+
+
+class TestCanonicalBinding:
+    def test_key_order_is_normalised(self):
+        a = canonical_binding('{"outputs": ["o"], "ports": {"p": {"dc": 1}}}')
+        b = canonical_binding('{"ports": {"p": {"dc": 1}}, "outputs": ["o"]}')
+        assert a == b
+        assert "\n" not in a and " " not in a
+
+
+class TestApplyBinding:
+    def test_wires_the_ota(self):
+        circuit = ota()
+        bound = apply_binding(circuit, ota_binding())
+        assert bound.out_p == "vout"
+        assert bound.supply_source == "bind.vdd"
+        assert bound.input_sources == ("bind.vin+",)
+        # Every port got a grounding source; the load cap is in place.
+        for name in ("bind.vdd", "bind.vss", "bind.vin+", "bind.vin-",
+                     "bind.vb1", "bind.load.vout"):
+            circuit.element(name)
+
+    def test_supply_axis_overrides_dc(self):
+        circuit = ota()
+        apply_binding(circuit, ota_binding(), supply=3.0)
+        assert circuit.element("bind.vdd").dc == 3.0
+
+    def test_supply_value_needs_supply_port(self):
+        with pytest.raises(IngestError, match="names no 'supply' port"):
+            apply_binding(ota(), '{"ports": {"vdd": {"dc": 1}}, '
+                                 '"outputs": ["vout"]}', supply=3.0)
+
+    def test_unknown_port_is_an_error(self):
+        with pytest.raises(IngestError, match="bound port 'nope'"):
+            apply_binding(ota(), '{"ports": {"nope": {"dc": 1}}, '
+                                 '"outputs": ["vout"]}')
+
+    def test_output_required(self):
+        with pytest.raises(IngestError, match="at least one output"):
+            apply_binding(ota(), '{"ports": {"vdd": {"dc": 1}}}')
+
+    def test_differential_outputs(self):
+        text = (DECK_DIR / "clocked_comparator.sp").read_text()
+        circuit = compile_deck(text, name="cmp").circuit
+        binding = (DECK_DIR / "clocked_comparator.binding.json").read_text()
+        bound = apply_binding(circuit, binding)
+        assert (bound.out_p, bound.out_n) == ("outp", "outn")

@@ -1,0 +1,152 @@
+"""Flattening contracts: name mangling, top selection, determinism.
+
+Store keys hash the canonical flattened deck, so elaboration must be a
+pure function of the deck text: element insertion order follows card
+order depth-first, instance internals get a ``<instance>.`` prefix, and
+``Circuit.nodes()`` sorts.  These tests pin that contract.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.ingest import IngestError, canonicalize_deck, compile_deck
+from repro.spice.elements import Mosfet, Resistor
+
+DECK_DIR = pathlib.Path(__file__).parent / "decks"
+EXEMPLARS = ("ota_5t.sp", "diff_amp.sp", "clocked_comparator.sp")
+
+HIER = """\
+.subckt half a b
+r1 a mid 1k
+r2 mid b 2k
+.ends
+x1 in n1 half
+x2 n1 0 half
+v1 in 0 dc 1
+"""
+
+
+class TestFlattening:
+    def test_instance_prefixes(self):
+        circuit = compile_deck(HIER, name="t").circuit
+        for name in ("x1.r1", "x1.r2", "x2.r1", "x2.r2", "v1"):
+            assert isinstance(circuit.element(name), (Resistor, object))
+        assert isinstance(circuit.element("x1.r1"), Resistor)
+
+    def test_ports_map_positionally(self):
+        circuit = compile_deck(HIER, name="t").circuit
+        nodes = circuit.nodes()
+        # Ports alias the parent nets; only internals are mangled.
+        assert "x1.mid" in nodes and "x2.mid" in nodes
+        assert "x1.a" not in nodes and "x1.b" not in nodes
+        assert "in" in nodes and "n1" in nodes
+
+    def test_nodes_sorted(self):
+        nodes = compile_deck(HIER, name="t").circuit.nodes()
+        assert nodes == sorted(nodes)
+
+    def test_element_order_follows_cards_depth_first(self):
+        names = [el.name for el in compile_deck(HIER, name="t").circuit]
+        assert names == ["x1.r1", "x1.r2", "x2.r1", "x2.r2", "v1"]
+
+    def test_canonical_is_deterministic(self):
+        assert canonicalize_deck(HIER, name="t") == \
+            canonicalize_deck(HIER, name="t")
+
+    def test_canonical_ignores_formatting(self):
+        noisy = "* a comment\n" + HIER.upper().replace("R1 A MID 1K",
+                                                       "R1  A  MID  1K")
+        assert canonicalize_deck(noisy, name="t") == \
+            canonicalize_deck(HIER, name="t")
+
+    def test_nested_instances_stack_prefixes(self):
+        text = (".subckt leaf p\nr1 p 0 1k\n.ends\n"
+                ".subckt mid q\nx9 q leaf\n.ends\n"
+                "xa n1 mid\nv1 n1 0 dc 1\n")
+        circuit = compile_deck(text, name="t").circuit
+        assert isinstance(circuit.element("xa.x9.r1"), Resistor)
+
+
+class TestTopSelection:
+    def test_single_subckt_is_auto_top(self):
+        text = ".subckt cell a\nr1 a vb 1k\nr2 vb 0 1k\n.ends\n"
+        compiled = compile_deck(text, name="t")
+        assert compiled.top == "cell"
+        # Ports and internals stay unprefixed: directly bindable.
+        assert set(compiled.circuit.nodes()) == {"a", "vb"}
+
+    def test_explicit_top_wins(self):
+        text = (".subckt a p\nr1 p 0 1k\n.ends\n"
+                ".subckt b q\nc1 q 0 1p\n.ends\n")
+        compiled = compile_deck(text, name="t", top="b")
+        assert compiled.top == "b"
+        assert compiled.circuit.nodes() == ["q"]
+
+    def test_ambiguous_tops_rejected(self):
+        text = (".subckt a p\nr1 p 0 1k\n.ends\n"
+                ".subckt b q\nc1 q 0 1p\n.ends\n")
+        with pytest.raises(IngestError, match="pick one with top="):
+            compile_deck(text, name="t")
+
+    def test_unknown_top_lists_candidates(self):
+        with pytest.raises(IngestError, match="defined: \\['half'\\]"):
+            compile_deck(HIER, name="t", top="nope")
+
+    def test_empty_deck_rejected(self):
+        with pytest.raises(IngestError, match="no device cards"):
+            compile_deck("* only a comment\n", name="t")
+
+
+class TestMosPrimitives:
+    def test_x_card_with_mos_model_is_a_device(self):
+        text = "xm1 d g 0 0 nmos_rvt w=1u l=100n\nvd d 0 dc 1\nvg g 0 dc 1\n"
+        circuit = compile_deck(text, name="t").circuit
+        el = circuit.element("xm1")
+        assert isinstance(el, Mosfet)
+        assert el.w == pytest.approx(1e-6)
+
+    def test_nf_multiplies_m(self):
+        text = "xm1 d g 0 0 nmos_rvt w=1u l=100n m=2 nf=3\nvd d 0 dc 1\n"
+        circuit = compile_deck(text, name="t").circuit
+        assert circuit.element("xm1").m == 6
+
+    def test_unknown_subckt_names_candidates(self):
+        with pytest.raises(IngestError, match="unknown subcircuit 'ghost'"):
+            compile_deck("x1 a b ghost\n", name="t")
+
+
+class TestHierarchyErrors:
+    def test_port_count_mismatch(self):
+        text = ".subckt half a b\nr1 a b 1k\n.ends\nx1 n1 half\n"
+        with pytest.raises(IngestError, match="t:4") as exc:
+            compile_deck(text, name="t")
+        assert "1 nodes" in str(exc.value) and "2 ports" in str(exc.value)
+
+    def test_recursion_detected(self):
+        text = ".subckt loop a\nx1 a loop\n.ends\nx0 n1 loop\n"
+        with pytest.raises(IngestError, match="recursive"):
+            compile_deck(text, name="t")
+
+    def test_errors_are_one_line(self):
+        with pytest.raises(IngestError) as exc:
+            compile_deck("x1 a b ghost\n", name="t")
+        assert "\n" not in str(exc.value)
+
+
+class TestExemplars:
+    @pytest.mark.parametrize("deck", EXEMPLARS)
+    def test_compiles_and_is_stable(self, deck):
+        text = (DECK_DIR / deck).read_text()
+        compiled = compile_deck(text, name=deck)
+        assert len(compiled.circuit.nodes()) >= 3
+        assert compiled.circuit.nodes() == sorted(compiled.circuit.nodes())
+        assert canonicalize_deck(text, name=deck) == \
+            canonicalize_deck(text, name=deck)
+
+    def test_ota_exposes_bias_net(self):
+        text = (DECK_DIR / "ota_5t.sp").read_text()
+        nodes = compile_deck(text, name="ota").circuit.nodes()
+        # The single-subckt top keeps internals unprefixed, so the
+        # undriven bias gate is directly bindable.
+        assert "vb1" in nodes and "vout" in nodes

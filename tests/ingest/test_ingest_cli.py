@@ -1,0 +1,71 @@
+"""``repro ingest`` front door: success paths, diagnostics, exit codes."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DECK_DIR = pathlib.Path(__file__).parent / "decks"
+
+
+def ota_args(*extra):
+    return ["ingest", str(DECK_DIR / "ota_5t.sp"),
+            "--binding", str(DECK_DIR / "ota_5t.binding.json"), *extra]
+
+
+class TestIngestCli:
+    @pytest.mark.parametrize("deck", ["ota_5t", "diff_amp",
+                                      "clocked_comparator"])
+    def test_validate_all_exemplars(self, deck, capsys):
+        assert main(["ingest", str(DECK_DIR / f"{deck}.sp"),
+                     "--validate"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_inventory_line(self, capsys):
+        assert main(["ingest", str(DECK_DIR / "ota_5t.sp")]) == 0
+        out = capsys.readouterr().out
+        assert "top 'ota_5t'" in out and "nodes" in out and "elements" in out
+
+    def test_canonical_prints_deck(self, capsys):
+        assert main(["ingest", str(DECK_DIR / "ota_5t.sp"),
+                     "--canonical"]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith(".end\n")
+        assert "Mxm1" in out
+
+    def test_op_prints_operating_point(self, capsys):
+        assert main(ota_args("--op")) == 0
+        out = capsys.readouterr().out
+        assert "v(vout)" in out and "i(bind.vdd)" in out
+
+    def test_ac_prints_gain(self, capsys):
+        assert main(ota_args("--ac")) == 0
+        out = capsys.readouterr().out
+        assert "gain(vout) at 1 kHz" in out
+
+    def test_missing_file_is_exit_2(self, capsys):
+        assert main(["ingest", "no_such_deck.sp"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    def test_malformed_deck_is_one_line_with_lineno(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("m1 d\n")
+        assert main(["ingest", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: bad.sp:1:")
+        assert err.count("\n") == 1
+
+    def test_op_requires_binding(self, tmp_path, capsys):
+        assert main(["ingest", str(DECK_DIR / "ota_5t.sp"), "--op"]) == 2
+        assert "binding" in capsys.readouterr().err
+
+    def test_bad_binding_is_exit_2(self, tmp_path, capsys):
+        binding = tmp_path / "b.json"
+        binding.write_text('{"ports": {"ghost": {"dc": 1}}, '
+                           '"outputs": ["vout"]}')
+        assert main(["ingest", str(DECK_DIR / "ota_5t.sp"),
+                     "--binding", str(binding), "--op"]) == 2
+        err = capsys.readouterr().err
+        assert "ghost" in err and err.count("\n") == 1

@@ -1,0 +1,91 @@
+"""Store-key stability for ingested decks.
+
+The ``ingested`` builder's kwargs carry the canonical flattened deck and
+the canonical binding JSON, so unit keys are content-addressed on the
+*circuit*: textual variants of the same deck coalesce, and a separate
+interpreter reproduces the same keys bit for bit (no hash-seed or id()
+leakage through the canonicalisation pipeline).
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from repro.campaign import CampaignSpec
+from repro.ingest import canonical_binding, canonicalize_deck
+from repro.store import UnitKeyer, campaign_key
+
+DECK_DIR = pathlib.Path(__file__).parent / "decks"
+
+
+def ingested_spec(deck_text: str, binding_text: str) -> CampaignSpec:
+    return CampaignSpec(
+        builder="ingested", corners=("tt", "ss"), temps_c=(25.0, 85.0),
+        seeds=(None,), gain_codes=(None,),
+        measurements=("offset_v", "iq_ma", "gain_1khz_db"),
+        builder_kwargs={
+            "netlist": canonicalize_deck(deck_text, name="netlist"),
+            "binding": canonical_binding(binding_text),
+        },
+    )
+
+
+_SUBPROCESS_SCRIPT = """
+import json, pathlib
+from repro.campaign import CampaignSpec
+from repro.ingest import canonical_binding, canonicalize_deck
+from repro.store import UnitKeyer, campaign_key
+
+deck_dir = pathlib.Path({deck_dir!r})
+spec = CampaignSpec(
+    builder="ingested", corners=("tt", "ss"), temps_c=(25.0, 85.0),
+    seeds=(None,), gain_codes=(None,),
+    measurements=("offset_v", "iq_ma", "gain_1khz_db"),
+    builder_kwargs={{
+        "netlist": canonicalize_deck((deck_dir / "ota_5t.sp").read_text(),
+                                     name="netlist"),
+        "binding": canonical_binding(
+            (deck_dir / "ota_5t.binding.json").read_text()),
+    }},
+)
+keyer = UnitKeyer(spec)
+print(json.dumps({{"campaign": campaign_key(spec),
+                   "units": [keyer.key(u) for u in spec.expand()]}}))
+"""
+
+
+class TestIngestedKeys:
+    def test_subprocess_reproduces_keys(self):
+        spec = ingested_spec((DECK_DIR / "ota_5t.sp").read_text(),
+                             (DECK_DIR / "ota_5t.binding.json").read_text())
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             _SUBPROCESS_SCRIPT.format(deck_dir=str(DECK_DIR))],
+            capture_output=True, text=True, check=True,
+        )
+        remote = json.loads(proc.stdout)
+        keyer = UnitKeyer(spec)
+        assert remote["campaign"] == campaign_key(spec)
+        assert remote["units"] == [keyer.key(u) for u in spec.expand()]
+
+    def test_textual_variants_coalesce(self):
+        """Comments, case and whitespace must not move a single key."""
+        text = (DECK_DIR / "ota_5t.sp").read_text()
+        binding = (DECK_DIR / "ota_5t.binding.json").read_text()
+        noisy = "* resubmitted\n" + text.upper().replace("  ", " ")
+        rekeyed_binding = json.dumps(
+            dict(reversed(list(json.loads(binding).items()))))
+        a = ingested_spec(text, binding)
+        b = ingested_spec(noisy, rekeyed_binding)
+        keyer_a, keyer_b = UnitKeyer(a), UnitKeyer(b)
+        assert campaign_key(a) == campaign_key(b)
+        assert [keyer_a.key(u) for u in a.expand()] == \
+            [keyer_b.key(u) for u in b.expand()]
+
+    def test_different_deck_moves_keys(self):
+        text = (DECK_DIR / "ota_5t.sp").read_text()
+        binding = (DECK_DIR / "ota_5t.binding.json").read_text()
+        a = ingested_spec(text, binding)
+        b = ingested_spec(text.replace("w=270n", "w=280n"), binding)
+        assert campaign_key(a) != campaign_key(b)

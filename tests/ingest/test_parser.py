@@ -1,0 +1,135 @@
+"""Lexer / number / expression / parse-stage contracts.
+
+Every failure mode must surface as a one-line :class:`IngestError`
+carrying the deck name and the 1-based source line of the offending
+card — that is the whole diagnostic the CLI and the serve layer print.
+"""
+
+import pytest
+
+from repro.ingest import IngestError, parse_deck
+from repro.ingest.expressions import eval_expr, eval_value
+from repro.ingest.lexer import lex, logical_lines, tokenize
+from repro.ingest.numbers import parse_number
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("token,value", [
+        ("1k", 1e3), ("2.5meg", 2.5e6), ("10u", 1e-5), ("1.2p", 1.2e-12),
+        ("100f", 1e-13), ("3n", 3e-9), ("0.5m", 0.5e-3), ("1g", 1e9),
+        ("2t", 2e12), ("1mil", 25.4e-6), ("1e-3", 1e-3), ("-4.7k", -4.7e3),
+        (".5u", 0.5e-6), ("1.5e3k", 1.5e6),
+    ])
+    def test_engineering_suffixes(self, token, value):
+        assert parse_number(token) == pytest.approx(value, rel=1e-12)
+
+    def test_trailing_unit_letters_ignored(self):
+        # Classic SPICE: anything after the scale letter is a unit tag.
+        assert parse_number("5v") == 5.0
+        assert parse_number("1kohm") == 1e3
+        assert parse_number("10uf") == pytest.approx(1e-5, rel=1e-12)
+
+    def test_meg_not_milli(self):
+        assert parse_number("1meg") == 1e6
+        assert parse_number("1m") == 1e-3
+
+    def test_non_numbers(self):
+        assert parse_number("vdd") is None
+        assert parse_number("") is None
+        assert parse_number("1..2") is None
+
+
+class TestLexer:
+    def test_continuation_joins_cards(self):
+        lines = logical_lines("m1 d g\n+ s b nmod\n+ w=1u\n", "t")
+        assert len(lines) == 1
+        assert lines[0][0] == 1          # first physical line number
+        assert "w=1u" in lines[0][1]
+
+    def test_continuation_without_card_fails(self):
+        with pytest.raises(IngestError, match=r"t:1"):
+            logical_lines("+ w=1u\n", "t")
+
+    def test_comments_stripped(self):
+        cards = lex("* a title-ish comment\nr1 a b 1k ; trailing\n"
+                    "c1 a 0 1p $ also trailing\n", "t")
+        assert [c.tokens[0] for c in cards] == ["r1", "c1"]
+        assert cards[0].tokens[-1] == "1k"
+
+    def test_paren_groups_single_token(self):
+        toks = tokenize("v1 in 0 sin(0 1 1k)", "t", 1)
+        assert toks == ["v1", "in", "0", "sin(0 1 1k)"]
+
+    def test_equals_split(self):
+        toks = tokenize("m1 d g s b mod w=10u l = 2u", "t", 1)
+        assert toks[:6] == ["m1", "d", "g", "s", "b", "mod"]
+        assert toks[6:] == ["w", "=", "10u", "l", "=", "2u"]
+
+    def test_unterminated_group(self):
+        with pytest.raises(IngestError, match=r"t:3"):
+            lex("r1 a b 1k\nr2 b c 2k\nv1 in 0 sin(0 1\n", "t")
+
+    def test_case_folding(self):
+        cards = lex("R1 NodeA NODEB 1K\n", "t")
+        assert cards[0].tokens == ["r1", "nodea", "nodeb", "1k"]
+
+
+class TestExpressions:
+    def test_arithmetic_and_suffixes(self):
+        assert eval_expr("2*3 + 1k", {}, deck="t", line=1) == 1006.0
+
+    def test_param_references(self):
+        env = {"w0": 2e-6}
+        assert eval_value("{w0*2}", env, deck="t", line=1) == 4e-6
+        assert eval_value("'w0/2'", env, deck="t", line=1) == 1e-6
+
+    def test_functions(self):
+        assert eval_expr("sqrt(16)", {}, deck="t", line=1) == 4.0
+        assert eval_expr("max(1, 2, 3)", {}, deck="t", line=1) == 3.0
+
+    def test_unknown_name_is_one_line_error(self):
+        with pytest.raises(IngestError, match=r"t:7") as exc:
+            eval_expr("undefined_param*2", {}, deck="t", line=7)
+        assert "\n" not in str(exc.value)
+
+    def test_no_arbitrary_code(self):
+        for evil in ("__import__('os')", "(1).__class__", "[1 for _ in [1]]"):
+            with pytest.raises(IngestError):
+                eval_expr(evil, {}, deck="t", line=1)
+
+
+class TestParseDeck:
+    def test_subckt_collected(self):
+        deck = parse_deck(".subckt amp in out vdd\nr1 in out 1k\n.ends\n"
+                          "x1 a b vdd amp\n", name="t")
+        assert "amp" in deck.subckts
+        assert list(deck.subckts["amp"].ports) == ["in", "out", "vdd"]
+        assert len(deck.cards) == 1          # the X card
+
+    def test_params_evaluate_in_order(self):
+        deck = parse_deck(".param a=2\n.param b='a*3'\n", name="t")
+        assert deck.params["b"] == 6.0
+
+    def test_model_card(self):
+        deck = parse_deck(".model nch nmos (vto=0.7 kp=100u level=1)\n",
+                          name="t")
+        model = deck.models["nch"]
+        assert model.polarity == "nmos"
+        assert model.vth0 == 0.7            # LEVEL= popped, not a knob
+
+    @pytest.mark.parametrize("text,line", [
+        (".ends\n", 1),                      # .ends without .subckt
+        (".subckt a p\nr1 p 0 1k\n", 1),     # unclosed, blamed on opener
+        ("r1 a b 1k\nw1 a b\n", 2),          # unknown device letter
+        (".model a d ()\n.model a d ()\n", 2),  # duplicate .model name
+        (".subckt a p\n.subckt b q\n.ends\n.ends\n", 2),  # no nesting
+        (".model m1 nmos (vto=0.7\n", 1),    # unterminated model group
+    ])
+    def test_diagnostics_carry_line_numbers(self, text, line):
+        with pytest.raises(IngestError, match=rf"t:{line}") as exc:
+            parse_deck(text, name="t")
+        assert "\n" not in str(exc.value)
+
+    def test_dot_end_stops_parsing(self):
+        deck = parse_deck("r1 a b 1k\n.end\nthis is not spice\n", name="t")
+        assert len(deck.cards) == 1

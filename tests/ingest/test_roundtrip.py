@@ -1,0 +1,124 @@
+"""Export -> re-ingest round trip: identical MNA stamps.
+
+``repro.spice.export`` writes a deck; ``repro.ingest`` reads it back.
+The two are a matched pair: every element flavour the engine stamps
+must survive the cycle with *bit-identical* static matrices and
+assembled Jacobians.  This is the regression net for the exporter's
+historical card-formatting gaps — F/H control references hardcoded a
+``V`` prefix (dangling for E/H/L controls) and switches were exported
+with an illegal mid-card ``*`` comment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ingest import compile_deck
+from repro.spice.devices.bjt import BjtModel
+from repro.spice.devices.diode import DiodeModel
+from repro.spice.devices.mosfet import MosModel
+from repro.spice.export import export_netlist
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+
+
+def mos_model(polarity="nmos"):
+    # clm chosen so the exporter's LAMBDA = clm / 5e-6 fold is exact.
+    return MosModel(name=f"rt_{polarity}", polarity=polarity, kp=90e-6,
+                    clm=0.05e-6)
+
+
+def linear_menagerie() -> Circuit:
+    """Every linear element flavour, including the formerly-broken ones:
+    a CCCS controlled by an E source, a CCVS controlled by an inductor,
+    and a switch in each state."""
+    c = Circuit(name="menagerie")
+    c.vsource("vin", "a", "gnd", dc=1.0, ac=1.0)
+    c.resistor("r1", "a", "b", 1.234e3, tc1=1e-3, tc2=1e-6)
+    c.capacitor("c1", "b", "gnd", 2.49993e-14)
+    c.inductor("l1", "b", "d", 1e-3)
+    c.vcvs("ea", "d", "gnd", "a", "b", 2.5)
+    c.vccs("gm", "d", "gnd", "a", "gnd", 1e-4)
+    c.cccs("fb", "e", "gnd", control="ea", gain=0.5)     # E-controlled
+    c.ccvs("hb", "e", "f", control="l1", transresistance=50.0)  # L-controlled
+    c.cccs("fc", "f", "gnd", control="vin", gain=2.0)    # V-controlled
+    c.switch("sw_on", "f", "gnd", closed=True, ron=123.0)
+    c.switch("sw_off", "e", "gnd", closed=False)
+    c.resistor("rload", "e", "gnd", 1e4)
+    return c
+
+
+def device_menagerie() -> Circuit:
+    c = Circuit(name="devices")
+    c.vsource("vdd", "vdd", "gnd", dc=2.5)
+    c.vsource("vg", "g", "gnd", dc=1.2)
+    c.mosfet("m1", "d", "g", "gnd", "gnd", model=mos_model(), w=10e-6,
+             l=1e-6, m=2)
+    c.mosfet("m2", "d", "g", "vdd", "vdd", model=mos_model("pmos"),
+             w=20e-6, l=1e-6)
+    c.resistor("rd", "vdd", "d", 10e3)
+    c.bjt("q1", "d", "g", "gnd",
+          model=BjtModel(name="rt_npn", polarity="npn"), area=2.0)
+    c.diode("d1", "d", "gnd",
+            model=DiodeModel(name="rt_d"), area=1.5)
+    return c
+
+
+def reingest(circuit: Circuit) -> Circuit:
+    return compile_deck(export_netlist(circuit), name=circuit.name).circuit
+
+
+def assert_same_stamps(a: Circuit, b: Circuit) -> None:
+    sys_a, sys_b = MnaSystem(a), MnaSystem(b)
+    assert sys_a.size == sys_b.size
+    np.testing.assert_array_equal(sys_a.g_static, sys_b.g_static)
+    np.testing.assert_array_equal(sys_a.c_static, sys_b.c_static)
+    np.testing.assert_array_equal(sys_a.rhs_dc(), sys_b.rhs_dc())
+    np.testing.assert_array_equal(sys_a.rhs_ac(), sys_b.rhs_ac())
+    # Nonlinear stamps at a deterministic non-trivial point.
+    x = np.linspace(0.1, 0.9, sys_a.size + 1)
+    jac_a, resid_a, _ = sys_a.assemble(x, sys_a.rhs_dc())
+    jac_b, resid_b, _ = sys_b.assemble(x, sys_b.rhs_dc())
+    np.testing.assert_array_equal(jac_a, jac_b)
+    np.testing.assert_array_equal(resid_a, resid_b)
+
+
+class TestRoundTrip:
+    def test_linear_menagerie_bit_identical(self):
+        circuit = linear_menagerie()
+        assert_same_stamps(circuit, reingest(circuit))
+
+    def test_device_menagerie_bit_identical(self):
+        circuit = device_menagerie()
+        assert_same_stamps(circuit, reingest(circuit))
+
+    def test_node_names_survive(self):
+        circuit = linear_menagerie()
+        assert reingest(circuit).nodes() == circuit.nodes()
+
+    def test_switch_state_survives(self):
+        # The on-switch re-ingests as its ron, the off-switch as roff:
+        # same conductance stamp either way.
+        circuit = Circuit(name="sw")
+        circuit.vsource("v1", "a", "gnd", dc=1.0)
+        circuit.switch("s1", "a", "gnd", closed=True, ron=123.0)
+        back = reingest(circuit)
+        el = back.element("rs1")
+        assert el.value == 123.0
+
+    def test_control_prefix_matches_card(self):
+        """F/H control references must use the control element's own
+        card letter, not a hardcoded V."""
+        deck = export_netlist(linear_menagerie())
+        cards = {line.split()[0]: line for line in deck.splitlines()
+                 if line and not line.startswith((".", "*"))}
+        assert cards["Ffb"].split()[3] == "Eea"
+        assert cards["Hhb"].split()[3] == "Ll1"
+        assert cards["Ffc"].split()[3] == "Vvin"
+
+    def test_second_cycle_is_stable(self):
+        """Canonicalisation is not name-idempotent (card letters accrete)
+        but the stamps must stay fixed from the first cycle on."""
+        circuit = linear_menagerie()
+        once = reingest(circuit)
+        twice = reingest(once)
+        assert_same_stamps(once, twice)

@@ -50,10 +50,11 @@ import argparse
 import json
 import os
 import pathlib
-import platform
 import time
 
 import numpy as np
+
+from provenance import provenance_block
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
@@ -242,7 +243,7 @@ def _merge_out(out: pathlib.Path, campaign: dict, smoke: bool) -> None:
             payload = {}
     entry = {
         "smoke": smoke,
-        "platform": platform.platform(),
+        **provenance_block(),
         **campaign,
     }
     payload["campaign"] = entry

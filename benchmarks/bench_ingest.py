@@ -32,8 +32,9 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import time
+
+from provenance import provenance_block
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
@@ -142,7 +143,7 @@ def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
             payload = {}
     payload["ingest"] = {
         "smoke": smoke,
-        "platform": platform.platform(),
+        **provenance_block(),
         **results,
     }
     payload.setdefault("ingest_trajectory", []).append({

@@ -35,10 +35,11 @@ import argparse
 import json
 import math
 import pathlib
-import platform
 import time
 
 import numpy as np
+
+from provenance import provenance_block
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
@@ -137,6 +138,10 @@ def run_bench(smoke: bool) -> dict:
     hit_rate = evaluator.cache_hit_rate
     print(f"  engine (cached, shared-context): {t_engine:.2f}s "
           f"({n / t_engine:.1f} evals/s, cache hit rate {hit_rate:.0%})")
+    stats = evaluator.stats()
+    print(f"  cache levels: memo {stats['hits']}/{stats['evaluations']} hits, "
+          f"store {stats['store_hits']} hits / {stats['store_misses']} misses, "
+          f"{stats['simulated']} candidates simulated")
 
     t0 = time.perf_counter()
     naive_metrics = [naive_evaluate(x, space) for x in stream]
@@ -179,7 +184,7 @@ def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
             payload = {}
     payload["optimize"] = {
         "smoke": smoke,
-        "platform": platform.platform(),
+        **provenance_block(),
         **results,
     }
     payload.setdefault("optimize_trajectory", []).append({

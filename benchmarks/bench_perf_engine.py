@@ -28,8 +28,9 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import time
+
+from provenance import provenance_block
 
 import numpy as np
 
@@ -172,14 +173,10 @@ def main(argv: list[str] | None = None) -> int:
     results["pga_characterize"] = bench_characterize(quick=True)
     print("  {wall_s:.2f}s for {n_metrics} metrics".format(**results["pga_characterize"]))
 
-    import scipy
-
     payload = {
         "benchmark": "bench_perf_engine",
         "smoke": args.smoke,
-        "platform": platform.platform(),
-        "numpy": np.__version__,
-        "scipy": scipy.__version__,
+        **provenance_block(),
         "results": results,
     }
     # Merge-preserve: other benches (bench_campaign.py) keep their own

@@ -44,11 +44,12 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import shutil
 import tempfile
 import threading
 import time
+
+from provenance import provenance_block
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
@@ -338,7 +339,7 @@ def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
             payload = {}
     payload["serve"] = {
         "smoke": smoke,
-        "platform": platform.platform(),
+        **provenance_block(),
         **results,
     }
     point = {

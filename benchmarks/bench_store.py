@@ -32,10 +32,11 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import shutil
 import tempfile
 import time
+
+from provenance import provenance_block
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
@@ -129,7 +130,7 @@ def _merge_out(out: pathlib.Path, results: dict, smoke: bool) -> None:
             payload = {}
     payload["store"] = {
         "smoke": smoke,
-        "platform": platform.platform(),
+        **provenance_block(),
         **results,
     }
     payload.setdefault("store_trajectory", []).append({

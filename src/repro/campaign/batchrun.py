@@ -41,6 +41,8 @@ from repro.campaign.measurements import MEASUREMENTS
 from repro.campaign.runner import ChunkCache, UnitRuntime
 from repro.campaign.spec import CampaignSpec, WorkUnit
 from repro.faults.harness import fault_point
+from repro.obs.profile import prof_count
+from repro.obs.trace import span
 from repro.spice.batch import BatchedSystem, circuit_signature, newton_batch
 from repro.spice.dc import OperatingPoint, dc_operating_point
 from repro.spice.elements import VoltageSource
@@ -374,22 +376,27 @@ def run_chunk_batched(spec: CampaignSpec, units: list[WorkUnit],
         g_units = [m[0] for m in members]
         g_builts = [m[1] for m in members]
         g_techs = [m[2] for m in members]
-        try:
-            fault_point("campaign.batch_group", n_units=len(idxs))
-            builder_fn = BUILDERS.get(spec.builder)
-            if builder_fn is not None and \
-                    not getattr(builder_fn, "batchable", True):
-                # Ingested/foreign structure: the tensor engine must not
-                # stack it (see register_builder); take the same
-                # byte-identical per-unit fallback as any group surprise.
-                raise RuntimeError(
-                    f"builder {spec.builder!r} is not batchable")
-            recs = _run_group(spec, g_units, g_builts, g_techs, stats)
-        except Exception:
-            if stats is not None:
-                stats["fallback_units"] = (stats.get("fallback_units", 0)
-                                           + len(idxs))
-            recs = [run_unit(spec, unit, cache) for unit in g_units]
+        with span("campaign.batch_group", n_units=len(idxs)) as sp:
+            try:
+                fault_point("campaign.batch_group", n_units=len(idxs))
+                builder_fn = BUILDERS.get(spec.builder)
+                if builder_fn is not None and \
+                        not getattr(builder_fn, "batchable", True):
+                    # Ingested/foreign structure: the tensor engine must
+                    # not stack it (see register_builder); take the same
+                    # byte-identical per-unit fallback as any group
+                    # surprise.
+                    raise RuntimeError(
+                        f"builder {spec.builder!r} is not batchable")
+                recs = _run_group(spec, g_units, g_builts, g_techs, stats)
+                prof_count("campaign.batch_groups")
+            except Exception:
+                if stats is not None:
+                    stats["fallback_units"] = (stats.get("fallback_units", 0)
+                                               + len(idxs))
+                prof_count("campaign.batch_group_fallbacks")
+                sp.annotate(fallback=True)
+                recs = [run_unit(spec, unit, cache) for unit in g_units]
         for i, rec in zip(idxs, recs):
             records[i] = rec
 

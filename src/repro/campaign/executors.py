@@ -34,6 +34,9 @@ from typing import Iterator
 from repro.campaign.runner import ChunkCache, run_chunk, worker_chunk_cache
 from repro.campaign.spec import CampaignSpec, WorkUnit
 from repro.faults.harness import fault_point
+from repro.obs import profile as _prof
+from repro.obs import trace as _trace
+from repro.obs.trace import span
 
 
 class CampaignExecutionError(RuntimeError):
@@ -62,7 +65,10 @@ class SerialExecutor:
     def map_chunks(self, spec: CampaignSpec,
                    chunks: list[list[WorkUnit]]) -> Iterator[list[dict]]:
         for chunk in chunks:
-            yield run_chunk(spec, chunk)
+            with span("campaign.chunk", executor=self.name,
+                      n_units=len(chunk)):
+                records = run_chunk(spec, chunk)
+            yield records
 
 
 class BatchedCampaignExecutor:
@@ -96,9 +102,12 @@ class BatchedCampaignExecutor:
 
         cache = ChunkCache(spec)
         for chunk in chunks:
-            yield run_chunk_batched(spec, chunk, cache=cache,
-                                    batch_size=self.batch_size,
-                                    stats=self.stats)
+            with span("campaign.chunk", executor=self.name,
+                      n_units=len(chunk)):
+                records = run_chunk_batched(spec, chunk, cache=cache,
+                                            batch_size=self.batch_size,
+                                            stats=self.stats)
+            yield records
 
 
 def _warm_worker(spec: CampaignSpec) -> None:
@@ -112,14 +121,53 @@ def _warm_worker(spec: CampaignSpec) -> None:
 
 
 def _run_chunk_task(spec: CampaignSpec, chunk: list[WorkUnit],
-                    attempt: int) -> list[dict]:
+                    attempt: int, trace_ctx=None) -> tuple:
     """The picklable message the pool ships to workers.  ``attempt``
     exists for the fault harness: child-side kill rules key off it
     (``when=lambda ctx: ctx["attempt"] == 0``) so a chaos run dies
     deterministically on the first dispatch and recovers on the
-    retry."""
+    retry.
+
+    Returns ``(records, spans, prof_snapshot)``.  When observability is
+    armed in the worker (the harness env is inherited across fork), the
+    chunk runs under *fresh local* collectors — never the fork-copied
+    parent tracer, whose export file handle must not be written from a
+    child — and the collected span dicts / profile snapshot travel home
+    with the records for the parent to absorb/merge.  ``trace_ctx`` is
+    the parent's ``(trace_id, span_id)`` so worker spans nest under the
+    dispatching campaign span.  Disarmed, both extra slots are ``None``
+    and the records are untouched either way.
+    """
     fault_point("campaign.pool_chunk", attempt=attempt, n_units=len(chunk))
-    return run_chunk(spec, chunk, cache=worker_chunk_cache(spec))
+    want_trace = _trace.active_tracer() is not None
+    want_prof = _prof.active_profiler() is not None
+    if not want_trace and not want_prof:
+        return run_chunk(spec, chunk, cache=worker_chunk_cache(spec)), None, None
+
+    collector = _trace.Tracer() if want_trace else None
+    local_prof = _prof.Profiler() if want_prof else None
+    prev_tracer = _trace.activate(collector) if want_trace else None
+    prev_prof = _prof.activate(local_prof) if want_prof else None
+    try:
+        if want_trace and trace_ctx is not None:
+            with _trace.seed_context(*trace_ctx):
+                with span("campaign.pool_chunk", attempt=attempt,
+                          n_units=len(chunk)):
+                    records = run_chunk(spec, chunk,
+                                        cache=worker_chunk_cache(spec))
+        else:
+            with span("campaign.pool_chunk", attempt=attempt,
+                      n_units=len(chunk)):
+                records = run_chunk(spec, chunk,
+                                    cache=worker_chunk_cache(spec))
+    finally:
+        if want_trace:
+            _trace._set_active(prev_tracer)
+        if want_prof:
+            _prof._set_active(prev_prof)
+    spans = collector.spans() if want_trace else None
+    prof_snap = local_prof.snapshot() if want_prof else None
+    return records, spans, prof_snap
 
 
 class ProcessPoolCampaignExecutor:
@@ -199,18 +247,26 @@ class ProcessPoolCampaignExecutor:
         pending = set(attempts)
         self.restarts = 0
         next_to_yield = 0
+        trace_ctx = _trace.current_context()
         while pending:
             pool = self._get_pool(spec)
             futures = {}
             try:
                 futures = {
                     pool.submit(_run_chunk_task, spec, chunks[i],
-                                attempts[i]): i
+                                attempts[i], trace_ctx): i
                     for i in sorted(pending)
                 }
                 for future in as_completed(futures):
                     i = futures[future]
-                    results[i] = future.result()
+                    records, child_spans, child_prof = future.result()
+                    tracer = _trace.active_tracer()
+                    if child_spans and tracer is not None:
+                        tracer.absorb(child_spans)
+                    profiler = _prof.active_profiler()
+                    if child_prof and profiler is not None:
+                        profiler.merge(child_prof)
+                    results[i] = records
                     pending.discard(i)
                     while next_to_yield in results:
                         yield results[next_to_yield]

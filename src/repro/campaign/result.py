@@ -55,6 +55,13 @@ class CampaignResult:
     #: "executed_units", "store_root"}``; ``None`` for plain runs.
     store_stats: dict | None = None
 
+    #: Observability sidecar (``{"profile": {...}}``) attached by
+    #: ``run_campaign`` when a :mod:`repro.obs.profile` profiler is
+    #: armed; ``None`` otherwise.  Telemetry only — never serialised by
+    #: :meth:`to_json`, so armed and disarmed runs export identical
+    #: bytes.
+    stats: dict | None = None
+
     def __init__(self, data: np.ndarray, metrics: tuple[str, ...],
                  spec: CampaignSpec | None = None) -> None:
         self.data = data

@@ -32,6 +32,8 @@ import numpy as np
 from repro.campaign.builders import BuiltUnit, build_unit_circuit
 from repro.campaign.measurements import MEASUREMENTS
 from repro.campaign.spec import CampaignSpec, WorkUnit
+from repro.obs.profile import active_profiler, prof_count
+from repro.obs.trace import span
 from repro.process.corners import apply_corner
 from repro.process.mismatch import MismatchSampler
 from repro.process.technology import Technology
@@ -92,6 +94,7 @@ class ChunkCache:
 
 def run_unit(spec: CampaignSpec, unit: WorkUnit, cache: ChunkCache) -> dict[str, float]:
     """Execute one work unit: build (or reuse), solve DC once, measure."""
+    prof_count("campaign.units_run")
     built = cache.built(unit)
     op = dc_operating_point(built.circuit, temp_c=unit.temp_c)
     rt = UnitRuntime(spec=spec, unit=unit, tech=cache.tech(unit.corner),
@@ -209,51 +212,60 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
         executor = SerialExecutor()
     units = spec.expand() if units is None else list(units)
 
-    if store is None:
-        records = _execute_units(spec, units, executor, chunk_size, progress)
-        return CampaignResult.from_units(spec, units, records)
+    with span("campaign.run", builder=spec.builder, n_units=len(units),
+              executor=getattr(executor, "name", type(executor).__name__)):
+        if store is None:
+            records = _execute_units(spec, units, executor, chunk_size,
+                                     progress)
+            result = CampaignResult.from_units(spec, units, records)
+        else:
+            from repro.store import UnitKeyer
 
-    from repro.store import UnitKeyer
+            keyer = UnitKeyer(spec)
+            keys = [keyer.key(unit) for unit in units]
+            store_errors = 0
+            try:
+                cached = store.get_many(keys)
+            except (sqlite3.OperationalError, OSError):
+                cached = {}
+                store_errors += 1
+            missing = [(u, k) for u, k in zip(units, keys) if k not in cached]
+            reused = len(units) - len(missing)
+            prof_count("campaign.store_reused", reused)
+            inner = None
+            if progress is not None:
+                progress(reused, len(units))
+                inner = lambda done, _total: progress(reused + done, len(units))
+            fresh = _execute_units(spec, [u for u, _ in missing], executor,
+                                   chunk_size, inner)
+            fresh_by_key = {}
+            entries = []
+            for (unit, key), record in zip(missing, fresh):
+                entries.append((key, record, "campaign-unit", {
+                    "builder": spec.builder,
+                    "corner": unit.corner,
+                    "temp_c": unit.temp_c,
+                    "supply": unit.supply,
+                    "seed": unit.seed,
+                    "gain_code": unit.gain_code,
+                    "measurements": list(spec.measurements),
+                }))
+                fresh_by_key[key] = record
+            try:
+                store.put_many(entries)
+            except (sqlite3.OperationalError, OSError):
+                store_errors += 1  # computed records outlive the write-back
+            records = [cached[k] if k in cached else fresh_by_key[k]
+                       for k in keys]
+            result = CampaignResult.from_units(spec, units, records)
+            result.store_stats = {
+                "reused_units": reused,
+                "executed_units": len(missing),
+                "store_root": str(store.root),
+                "store_errors": store_errors,
+            }
 
-    keyer = UnitKeyer(spec)
-    keys = [keyer.key(unit) for unit in units]
-    store_errors = 0
-    try:
-        cached = store.get_many(keys)
-    except (sqlite3.OperationalError, OSError):
-        cached = {}
-        store_errors += 1
-    missing = [(u, k) for u, k in zip(units, keys) if k not in cached]
-    reused = len(units) - len(missing)
-    inner = None
-    if progress is not None:
-        progress(reused, len(units))
-        inner = lambda done, _total: progress(reused + done, len(units))
-    fresh = _execute_units(spec, [u for u, _ in missing], executor, chunk_size,
-                           inner)
-    fresh_by_key = {}
-    entries = []
-    for (unit, key), record in zip(missing, fresh):
-        entries.append((key, record, "campaign-unit", {
-            "builder": spec.builder,
-            "corner": unit.corner,
-            "temp_c": unit.temp_c,
-            "supply": unit.supply,
-            "seed": unit.seed,
-            "gain_code": unit.gain_code,
-            "measurements": list(spec.measurements),
-        }))
-        fresh_by_key[key] = record
-    try:
-        store.put_many(entries)
-    except (sqlite3.OperationalError, OSError):
-        store_errors += 1         # computed records outlive the write-back
-    records = [cached[k] if k in cached else fresh_by_key[k] for k in keys]
-    result = CampaignResult.from_units(spec, units, records)
-    result.store_stats = {
-        "reused_units": reused,
-        "executed_units": len(missing),
-        "store_root": str(store.root),
-        "store_errors": store_errors,
-    }
+    profiler = active_profiler()
+    if profiler is not None:
+        result.stats = {"profile": profiler.snapshot()}
     return result

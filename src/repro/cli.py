@@ -126,6 +126,7 @@ _NONE_WORDS = ("none", "nominal")
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import contextlib
     import time
 
     from repro.campaign import (
@@ -190,21 +191,41 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"({len(spec.corners)} corners x {len(spec.temps_c)} temps x "
           f"{len(spec.supplies)} supplies x {len(spec.seeds)} seeds x "
           f"{len(spec.gain_codes)} codes), executor={executor.name}")
-    t0 = time.perf_counter()
-    try:
-        result = run_campaign(spec, executor=executor, chunk_size=args.chunk,
-                              store=store)
-    except ValueError as exc:
-        # Builder/measurement incompatibilities surface at run time (e.g.
-        # gain codes on a codeless builder); report them like parse errors.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    wall = time.perf_counter() - t0
+    tracer = None
+    with contextlib.ExitStack() as stack:
+        if args.profile:
+            from repro.obs.profile import Profiler
+
+            stack.enter_context(Profiler().activate())
+        if args.trace_out is not None:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer(export_path=args.trace_out)
+            stack.enter_context(tracer.activate())
+            stack.callback(tracer.close)
+        t0 = time.perf_counter()
+        try:
+            result = run_campaign(spec, executor=executor,
+                                  chunk_size=args.chunk, store=store)
+        except ValueError as exc:
+            # Builder/measurement incompatibilities surface at run time
+            # (e.g. gain codes on a codeless builder); report them like
+            # parse errors.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        wall = time.perf_counter() - t0
     print(f"done in {wall:.2f} s ({spec.n_units / wall:.1f} units/s)")
     if result.store_stats is not None:
         print(f"store: {result.store_stats['reused_units']} reused, "
               f"{result.store_stats['executed_units']} executed "
               f"(root {result.store_stats['store_root']})")
+    if tracer is not None:
+        print(f"trace: wrote {tracer.recorded} span(s) to {args.trace_out}")
+    if args.profile and result.stats is not None:
+        from repro.obs.profile import format_profile
+
+        print()
+        print(format_profile(result.stats["profile"]))
     print()
     print(result.summary())
     for metric in result.metrics:
@@ -274,13 +295,20 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     grid = robust.n_units if robust else 1
     print(f"optimize: mic amp vs Table 1, budget {budget} evaluations "
           f"x {grid} unit(s) each, mode={mode}, seed={seed}")
-    t0 = time.perf_counter()
-    result = optimize_mic_amp(
-        budget=budget, seed=seed, mode=mode,
-        robust=robust, executor=executor, store=store,
-        log=(None if args.no_progress else print),
-    )
-    wall = time.perf_counter() - t0
+    import contextlib
+
+    with contextlib.ExitStack() as stack:
+        if args.profile:
+            from repro.obs.profile import Profiler
+
+            stack.enter_context(Profiler().activate())
+        t0 = time.perf_counter()
+        result = optimize_mic_amp(
+            budget=budget, seed=seed, mode=mode,
+            robust=robust, executor=executor, store=store,
+            log=(None if args.no_progress else print),
+        )
+        wall = time.perf_counter() - t0
     print(f"done in {wall:.2f} s "
           f"({result.n_evaluations / wall:.1f} evaluations/s)\n")
     print(result.summary())
@@ -291,6 +319,12 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
               f"(hit rate {s['hit_rate']:.0%}), "
               f"store hits {s['store_hits']}, "
               f"simulated {s['simulated']}")
+    if args.profile and result.evaluator_stats is not None \
+            and "profile" in result.evaluator_stats:
+        from repro.obs.profile import format_profile
+
+        print()
+        print(format_profile(result.evaluator_stats["profile"]))
     print()
     report = MIC_AMP_SPEC.check(result.best.metrics)
     print(report.format())
@@ -454,6 +488,45 @@ def _cmd_client(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     raise AssertionError(f"unhandled client command {args.client_cmd!r}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.trace import format_tree, load_jsonl
+
+    if args.url is not None:
+        from repro.serve import ServeClient, ServeError
+
+        client = ServeClient(args.url)
+        try:
+            doc = client.job_trace(args.source)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        spans = doc.get("spans", [])
+    else:
+        try:
+            spans = load_jsonl(args.source)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except _json.JSONDecodeError as exc:
+            print(f"error: {args.source} is not a span JSONL file: {exc}",
+                  file=sys.stderr)
+            return 2
+    if args.trace_id is not None:
+        spans = [s for s in spans if s.get("trace_id") == args.trace_id]
+    if args.json:
+        print(_json.dumps(spans, indent=2))
+        return 0
+    if not spans:
+        print("(no spans)")
+        return 0
+    traces = {s.get("trace_id") for s in spans}
+    print(f"{len(spans)} span(s) across {len(traces)} trace(s)")
+    print(format_tree(spans))
+    return 0
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -649,6 +722,12 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--spec", default=None, metavar="FILE",
                     help="campaign request JSON file (serve-layer schema; "
                          "overrides the axis flags)")
+    pc.add_argument("--profile", action="store_true",
+                    help="print the engine profile (Newton iterations, "
+                         "LU calls, store I/O) after the run")
+    pc.add_argument("--trace-out", default=None, metavar="FILE",
+                    help="export the run's span trace as JSONL "
+                         "(inspect with `repro trace FILE`)")
     pc.set_defaults(func=_cmd_campaign)
 
     po2 = sub.add_parser(
@@ -693,6 +772,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "measured candidates across runs/processes")
     po2.add_argument("--verbose", action="store_true",
                      help="print evaluator cache statistics (memo + store)")
+    po2.add_argument("--profile", action="store_true",
+                     help="print the engine profile accumulated over "
+                          "every candidate evaluation")
     po2.add_argument("--spec", default=None, metavar="FILE",
                      help="optimize request JSON file (serve-layer schema; "
                           "overrides --budget/--seed/--mode/--robust)")
@@ -794,6 +876,25 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--timeout", type=float, default=600.0,
                         help="wait timeout in seconds (default: 600)")
         sp.set_defaults(func=_cmd_client)
+
+    pt = sub.add_parser(
+        "trace",
+        help="inspect a span trace (JSONL export or a served job)",
+        description="Render the span tree of a trace: from a JSONL file "
+                    "written by `repro campaign --trace-out` (or "
+                    "REPRO_OBS=trace:export=FILE), or fetched from a "
+                    "running service's GET /v1/jobs/<id>/trace.",
+    )
+    pt.add_argument("source",
+                    help="span JSONL file, or a job id when --url is given")
+    pt.add_argument("--url", default=None, metavar="URL",
+                    help="fetch the trace of job SOURCE from this serve "
+                         "endpoint instead of reading a file")
+    pt.add_argument("--trace-id", default=None,
+                    help="show only one trace id")
+    pt.add_argument("--json", action="store_true",
+                    help="print the raw span dicts instead of the tree")
+    pt.set_defaults(func=_cmd_trace)
 
     pi = sub.add_parser(
         "ingest",

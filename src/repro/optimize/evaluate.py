@@ -46,6 +46,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.campaign import CampaignSpec, run_campaign
+from repro.obs.profile import prof_count
 from repro.optimize.objective import Objective
 from repro.optimize.space import DesignSpace
 from repro.process.technology import CMOS12, Technology
@@ -300,16 +301,21 @@ class CandidateEvaluator:
         hit = self.cache.get(key)
         if hit is not None:
             self.cache_hits += 1
+            prof_count("optimize.memo_hits")
             return hit
         self.cache_misses += 1
+        prof_count("optimize.memo_misses")
         if self.store is not None:
             payload = self.store.get(self._design_key(key))
             if payload is not None:
                 self.store_hits += 1
+                prof_count("optimize.store_hits")
                 ev = self._revive(q, payload)
                 self.cache[key] = ev
                 return ev
             self.store_misses += 1
+            prof_count("optimize.store_misses")
+        prof_count("optimize.simulated")
         ev = self._measure(q)
         if not ev.transient:
             # An infrastructure failure is no verdict on the design:

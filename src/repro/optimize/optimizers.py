@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.profile import active_profiler
 from repro.optimize.evaluate import CandidateEvaluator, Evaluation
 from repro.optimize.pareto import DEFAULT_OBJECTIVES, ParetoFront
 from repro.optimize.space import DesignSpace
@@ -240,6 +241,11 @@ def optimize(
 
     if state.best is None:
         raise RuntimeError("budget exhausted before any evaluation completed")
+    evaluator_stats = (evaluator.stats() if hasattr(evaluator, "stats")
+                       else None)
+    profiler = active_profiler()
+    if evaluator_stats is not None and profiler is not None:
+        evaluator_stats["profile"] = profiler.snapshot()
     return OptimizationResult(
         best=state.best,
         space=space,
@@ -249,6 +255,5 @@ def optimize(
         cache_hits=evaluator.cache_hits - hits0,
         cache_misses=evaluator.cache_misses - misses0,
         feasible_found=state.best.feasible,
-        evaluator_stats=(evaluator.stats() if hasattr(evaluator, "stats")
-                         else None),
+        evaluator_stats=evaluator_stats,
     )

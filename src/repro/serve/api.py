@@ -8,8 +8,16 @@ Routes (all JSON in, JSON out)::
     GET  /v1/jobs/<id>          one job's status view           -> 200
     GET  /v1/jobs/<id>/result   the result document             -> 200
          ?offset=N&limit=M      one page of campaign rows       -> 200
-    GET  /v1/metrics            service counters + queue depth  -> 200
+    GET  /v1/jobs/<id>/trace    the job's collected spans       -> 200/404
+    GET  /v1/metrics            counters + gauges + latencies   -> 200
+    GET  /metrics               Prometheus text exposition      -> 200
     GET  /healthz               liveness                        -> 200
+
+Every request's wall time lands in the service's latency histograms
+(``http.request_s`` overall plus one per route class), so ``/metrics``
+serves request p50/p99 without any external middleware.  The trace
+route answers 404 while tracing is disarmed (``REPRO_OBS=trace`` arms
+it) — observability is opt-in and absent by default.
 
 Submissions answer ``202 Accepted`` while the job is queued/running and
 ``200`` when it is already terminal at submit time (a warm store hit —
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -112,10 +121,33 @@ class ServeHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _route_class(self) -> str:
+        """A low-cardinality label for latency histograms — one series
+        per route shape, never per job id."""
+        path = urlsplit(self.path).path.rstrip("/")
+        if path in ("/healthz",):
+            return "healthz"
+        if path in ("/metrics", "/v1/metrics"):
+            return "metrics"
+        if path == "/v1/campaigns":
+            return "submit_campaign"
+        if path == "/v1/optimize":
+            return "submit_optimize"
+        if path.startswith("/v1/jobs"):
+            if path.endswith("/result"):
+                return "result"
+            if path.endswith("/trace"):
+                return "trace"
+            return "jobs"
+        return "other"
+
     def _guarded(self, handler) -> None:
         """Last-resort isolation: an unexpected exception in a route
         answers a JSON 500 (when the response has not started) instead
-        of tearing down the connection with a half-written stream."""
+        of tearing down the connection with a half-written stream.
+        Every request — including the failing ones — lands its wall time
+        in the service latency histograms."""
+        t0 = time.perf_counter()
         try:
             handler()
         except Exception as exc:
@@ -125,6 +157,11 @@ class ServeHandler(BaseHTTPRequestHandler):
                 self._error(500, f"internal error: {type(exc).__name__}: {exc}")
             except OSError:
                 pass                    # response already underway / socket gone
+        finally:
+            dur = time.perf_counter() - t0
+            metrics = self.service.metrics
+            metrics.observe("http.request_s", dur)
+            metrics.observe(f"http.{self._route_class()}_s", dur)
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
         self._guarded(self._do_post)
@@ -157,6 +194,10 @@ class ServeHandler(BaseHTTPRequestHandler):
             return self._send_json(200, self.service.health())
         if path == "/v1/metrics":
             return self._send_json(200, self.service.metrics_snapshot())
+        if path == "/metrics":
+            return self._send(
+                200, self.service.prometheus_text().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8")
         if path == "/v1/jobs":
             return self._send_json(
                 200, {"jobs": [j.view() for j in self.service.queue.jobs()]})
@@ -170,6 +211,14 @@ class ServeHandler(BaseHTTPRequestHandler):
                 return self._send_json(200, job.view())
             if len(parts) == 5 and parts[4] == "result":
                 return self._result(job, parse_qs(split.query))
+            if len(parts) == 5 and parts[4] == "trace":
+                trace = self.service.job_trace(job)
+                if trace is None:
+                    self.service.metrics.incr("http_errors")
+                    return self._error(
+                        404, f"no trace for job {job.id} (tracing disarmed "
+                             "or the job never executed in this process)")
+                return self._send_json(200, trace)
         self.service.metrics.incr("http_errors")
         self._error(404, f"no such route: GET {path}")
 

@@ -104,6 +104,16 @@ class ServeClient:
     def metrics(self) -> dict:
         return self._get_json("/v1/metrics")
 
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition from ``GET /metrics``."""
+        _status, body = self._request("GET", "/metrics")
+        return body.decode("utf-8")
+
+    def job_trace(self, job_id: str) -> dict:
+        """The job's collected spans (``{"trace_id", "spans"}``); raises
+        :class:`ServeError` 404 while tracing is disarmed server-side."""
+        return self._get_json(f"/v1/jobs/{job_id}/trace")
+
     def jobs(self) -> list[dict]:
         return self._get_json("/v1/jobs")["jobs"]
 

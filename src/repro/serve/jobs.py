@@ -78,6 +78,9 @@ class Job:
     warm: bool = False
     #: Times the job went back to the FIFO after losing its worker.
     requeues: int = 0
+    #: Trace id of the job's execution span when tracing was armed
+    #: (``REPRO_OBS=trace``); ``None`` otherwise.  Telemetry only.
+    trace_id: str | None = None
     result: object = None
     _done_event: threading.Event = field(default_factory=threading.Event,
                                          repr=False)
@@ -105,6 +108,7 @@ class Job:
             "attached": self.attached,
             "warm": self.warm,
             "requeues": self.requeues,
+            "trace_id": self.trace_id,
         }
 
 
@@ -335,7 +339,8 @@ class JobQueue:
                       progress=snap.get("progress") or {},
                       attached=snap.get("attached", 0),
                       warm=snap.get("warm", False),
-                      requeues=snap.get("requeues", 0))
+                      requeues=snap.get("requeues", 0),
+                      trace_id=snap.get("trace_id"))
             if job.terminal:
                 job._done_event.set()
             else:

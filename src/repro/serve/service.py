@@ -58,6 +58,8 @@ import time
 import traceback
 
 from repro.faults.harness import fault_point
+from repro.obs.metrics import Histogram, render_prometheus
+from repro.obs.trace import active_tracer, span
 from repro.serve import jobs as J
 from repro.serve.validate import (
     SpecValidationError,
@@ -74,11 +76,22 @@ class JobTimeout(Exception):
 
 
 class ServiceMetrics:
-    """Monotonic named counters behind one lock (`GET /v1/metrics`)."""
+    """Counters, gauges and latency histograms behind one registry.
+
+    Counters are monotone integers under one lock (unchanged from the
+    original ``/v1/metrics`` surface).  :meth:`observe` feeds a named
+    fixed-bucket :class:`~repro.obs.metrics.Histogram` (created on first
+    use; each histogram carries its own lock, so observation contention
+    is per-series, not global), and gauges are last-write-wins floats —
+    together they are everything :func:`~repro.obs.metrics.
+    render_prometheus` needs for ``GET /metrics``.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, float] = {}
 
     def incr(self, name: str, by: int = 1) -> None:
         with self._lock:
@@ -91,6 +104,51 @@ class ServiceMetrics:
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return dict(sorted(self._counters.items()))
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample (seconds, typically) into the named
+        histogram, creating it with the default latency buckets on first
+        use."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauges_snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(sorted(self._gauges.items()))
+
+    def latency_snapshot(self) -> dict[str, dict]:
+        """Per-histogram ``{"count", "sum", "p50", "p95", "p99"}`` —
+        the JSON-friendly quantile view ``/v1/metrics`` serves."""
+        with self._lock:
+            hists = dict(self._histograms)
+        out: dict[str, dict] = {}
+        for name in sorted(hists):
+            hist = hists[name]
+            snap = hist.snapshot()
+            qs = hist.quantiles()
+            out[name] = {
+                "count": snap["count"],
+                "sum": snap["sum"],
+                **{k: (None if math.isnan(v) else v) for k, v in qs.items()},
+            }
+        return out
+
+    def histograms_snapshot(self) -> dict[str, dict]:
+        """Full Prometheus-shaped snapshots, name -> snapshot dict."""
+        with self._lock:
+            hists = dict(self._histograms)
+        return {name: hists[name].snapshot() for name in sorted(hists)}
 
 
 class CharacterizationService:
@@ -410,6 +468,9 @@ class CharacterizationService:
             job = self.queue.next_job()
             if job is None:
                 return
+            if job.started_at is not None:
+                self.metrics.observe("job.queue_wait_s",
+                                     max(0.0, job.started_at - job.created_at))
             with self._worker_lock:
                 self._active[name] = (job.id, time.monotonic())
             try:
@@ -463,12 +524,16 @@ class CharacterizationService:
 
     def _run_job(self, job: J.Job) -> None:
         fault_point("serve.job", job=job.id, kind=job.kind)
-        if job.kind == "campaign":
-            self._run_campaign_job(job)
-        elif job.kind == "optimize":
-            self._run_optimize_job(job)
-        else:
-            raise SpecValidationError(f"unknown job kind {job.kind!r}")
+        t0 = time.perf_counter()
+        with span("serve.job", job=job.id, kind=job.kind) as sp:
+            job.trace_id = getattr(sp, "trace_id", None)
+            if job.kind == "campaign":
+                self._run_campaign_job(job)
+            elif job.kind == "optimize":
+                self._run_optimize_job(job)
+            else:
+                raise SpecValidationError(f"unknown job kind {job.kind!r}")
+        self.metrics.observe(f"job.{job.kind}_s", time.perf_counter() - t0)
         self.metrics.incr("jobs_done")
         self.queue.finish(job, J.DONE)
 
@@ -615,12 +680,84 @@ class CharacterizationService:
             "store_degraded": self.store_degraded,
         }
 
-    def metrics_snapshot(self) -> dict:
+    def _update_gauges(self) -> None:
+        """Refresh the pull-style gauges (queue depth, busy workers,
+        store size) — called on every metrics read so scrapes see the
+        current state without a background sampler thread."""
+        self.metrics.set_gauge("queue_depth", self.queue.depth())
+        self.metrics.set_gauge("jobs", len(self.queue))
+        with self._worker_lock:
+            busy = len(self._active)
+        self.metrics.set_gauge("workers_busy", busy)
+        if self.store is not None and not self.store_degraded:
+            try:
+                self.metrics.set_gauge("store_entries", len(self.store))
+            except STORE_ERRORS:
+                pass                    # a scrape must never fail on the store
+
+    def _store_section(self) -> dict:
+        """``store.*``-namespaced store health for ``/v1/metrics``:
+        the backend's defect counters (quarantined payloads, read
+        errors, absorbed index retries) plus degradation state."""
+        section: dict = {"store.attached": self.store is not None,
+                         "store.degraded": self.store_degraded}
+        if self.store is not None:
+            try:
+                for name, value in self.store.fault_stats().items():
+                    section[f"store.{name}"] = value
+                section["store.entries"] = len(self.store)
+            except STORE_ERRORS:
+                pass
+        return section
+
+    def _journal_section(self) -> dict:
         return {
+            "journal.enabled": self.queue.journal_dir is not None,
+            "journal.recovered": self.queue.journal_recovered,
+            "journal.corrupt": self.queue.journal_corrupt,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        self._update_gauges()
+        snap = {
             "counters": self.metrics.snapshot(),
             "queue_depth": self.queue.depth(),
             "jobs": len(self.queue),
             "journal_recovered": self.queue.journal_recovered,
             "journal_corrupt": self.queue.journal_corrupt,
             "store_degraded": self.store_degraded,
+            "gauges": self.metrics.gauges_snapshot(),
+            "latency": self.metrics.latency_snapshot(),
         }
+        snap.update(self._store_section())
+        snap.update(self._journal_section())
+        return snap
+
+    def prometheus_text(self) -> str:
+        """The ``GET /metrics`` document (Prometheus text exposition)."""
+        self._update_gauges()
+        counters = self.metrics.snapshot()
+        for name, value in self._store_section().items():
+            if isinstance(value, bool):
+                self.metrics.set_gauge(name, 1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                self.metrics.set_gauge(name, value)
+        for name, value in self._journal_section().items():
+            self.metrics.set_gauge(name,
+                                   float(value) if not isinstance(value, bool)
+                                   else (1.0 if value else 0.0))
+        return render_prometheus(
+            counters=counters,
+            gauges=self.metrics.gauges_snapshot(),
+            histograms=self.metrics.histograms_snapshot(),
+        )
+
+    def job_trace(self, job: J.Job) -> dict | None:
+        """The spans collected for one job's execution, or ``None`` when
+        tracing is disarmed or the job never ran under a span (warm
+        hits, journal-restored records)."""
+        trace_id = getattr(job, "trace_id", None)
+        tracer = active_tracer()
+        if trace_id is None or tracer is None:
+            return None
+        return {"trace_id": trace_id, "spans": tracer.spans(trace_id)}

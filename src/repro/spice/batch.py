@@ -41,6 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import thermal_voltage
+from repro.obs.profile import prof_count
 from repro.spice.devices.bjt import BjtGroup
 from repro.spice.devices.diode import DiodeGroup
 from repro.spice.devices.mosfet import MosGroup
@@ -330,6 +331,8 @@ class BatchedSystem:
         # Flat per-unit offsets for the batched np.add.at device stamps.
         self._resid_off = (np.arange(n_units) * dim)[:, None]
         self._jac_off = np.arange(n_units) * dim * dim
+        prof_count("batch.systems_built")
+        prof_count("batch.units_stamped", n_units)
 
     def _stamp_mos_capacitances(self) -> None:
         # Mirrors MnaSystem._stamp_mos_capacitances: same k-major pair
@@ -520,6 +523,8 @@ def newton_batch(
         a = jac[:, :n, :n]
         r = resid[:, :n]
         iterations[live] = iteration
+        prof_count("batch.newton_iterations")
+        prof_count("batch.newton_unit_solves", int(live.sum()))
 
         dx = np.zeros((n_units, n))
         solve_failed = np.zeros(n_units, dtype=bool)

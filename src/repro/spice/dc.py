@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.profile import prof_count
 from repro.spice.elements import CurrentSource, Mosfet, VoltageSource
 from repro.spice.mna import MnaSystem
 from repro.spice.netlist import Circuit, is_ground
@@ -218,12 +219,15 @@ def _newton(
     use_sparse = bool(getattr(system, "prefer_sparse", False))
 
     for iteration in range(1, options.max_iterations + 1):
+        prof_count("dc.newton_iterations")
         step = _sparse_newton_step(system, x, rhs, gmin) if use_sparse else None
         if use_sparse and step is None:
             use_sparse = False  # fall back to dense for the rest of this solve
         if step is not None:
+            prof_count("dc.sparse_steps")
             dx, resid = step
         else:
+            prof_count("dc.dense_solves")
             jac, resid, _ = system.assemble(x, rhs, gmin=gmin)
             a = jac[:n, :n]
             r = resid[:n]
@@ -296,8 +300,10 @@ def dc_operating_point(
     rhs = system.rhs_dc()
     start = x0.copy() if x0 is not None else _initial_guess(system)
 
+    prof_count("dc.operating_points")
     converged, x, iters = _newton(system, start, rhs, gmin=0.0, options=opts)
     if converged:
+        prof_count("dc.strategy.newton")
         return OperatingPoint(system, x, iters, strategy="newton")
 
     # --- gmin stepping ---
@@ -313,6 +319,7 @@ def dc_operating_point(
             break
         x = x_next
     if ok:
+        prof_count("dc.strategy.gmin-stepping")
         return OperatingPoint(system, x, total_iters, strategy="gmin-stepping")
 
     # --- source stepping ---
@@ -347,6 +354,7 @@ def dc_operating_point(
         raise ConvergenceError(
             f"no DC operating point found for circuit {system.circuit.name!r}"
         )
+    prof_count("dc.strategy.source-stepping")
     return OperatingPoint(system, x, total_iters, strategy="source-stepping")
 
 

@@ -41,6 +41,7 @@ import numpy as np
 from scipy import linalg as sla
 from scipy.linalg import lapack as _lapack
 
+from repro.obs.profile import prof_count
 from repro.spice.netlist import is_ground
 
 #: Frequencies per factorization batch; 64 keeps the stacked matrices of
@@ -130,12 +131,15 @@ def solve_stacked(
         a = stacked_matrices(g, c, freqs[sl])
         m = a.shape[0]
         lu, piv = sla.lu_factor(a, check_finite=False)
+        prof_count("linsolve.lu_factor", m)
         if bf is not None:
             stacked_b = np.broadcast_to(bf, (m, *bf.shape)).copy()
             fwd[sl] = sla.lu_solve((lu, piv), stacked_b, check_finite=False)
+            prof_count("linsolve.lu_solve", m)
         if ba is not None:
             stacked_b = np.broadcast_to(ba, (m, *ba.shape)).copy()
             adj[sl] = sla.lu_solve((lu, piv), stacked_b, trans=1, check_finite=False)
+            prof_count("linsolve.lu_solve", m)
     return fwd, adj
 
 
@@ -163,6 +167,7 @@ def solve_looped(
     for k, f in enumerate(freqs):
         a = g + 2j * np.pi * f * c
         lu, piv = sla.lu_factor(a)
+        prof_count("linsolve.lu_factor")
         if bf is not None:
             fwd[k] = sla.lu_solve((lu, piv), bf)
         if ba is not None:
@@ -347,15 +352,19 @@ class SmallSignalContext:
         if getattr(self.system, "prefer_sparse", False):
             result = self._solve_sparse(freqs, rhs, adjoint_rhs)
             if result is not None:
+                prof_count("linsolve.path.sparse")
                 return result
         if freqs.size >= SPECTRAL_MIN_FREQS:
             solver = self.spectral()
             if solver is not None:
                 result = solver.solve(freqs, rhs, adjoint_rhs)
                 if result is not None:
+                    prof_count("linsolve.path.spectral")
                     return result
                 # Rejection is per sweep (e.g. one near-degenerate grid);
                 # other grids on this context may still use the fast path.
+                prof_count("linsolve.spectral_rejected")
+        prof_count("linsolve.path.stacked")
         return solve_stacked(self.g, self.c, freqs, rhs, adjoint_rhs, chunk)
 
     def _solve_sparse(
@@ -397,6 +406,7 @@ class SmallSignalContext:
             try:
                 with np.errstate(all="ignore"):
                     lu = splu(a)
+                prof_count("linsolve.sparse_splu")
             except (RuntimeError, ValueError):
                 self._sparse_dead = True
                 return None
@@ -515,6 +525,7 @@ class BatchedSmallSignalContext:
                         f"illegal value in argument {-info} of zgetrf (unit {u})"
                     )
                 factors.append((lu, piv))
+            prof_count("batch.zgetrf", self.n_units)
             ent = (a, factors)
             self._factors[freq] = ent
         return ent
@@ -530,6 +541,7 @@ class BatchedSmallSignalContext:
         out = np.empty_like(rhs)
         for u, (lu, piv) in enumerate(factors):
             out[u], _ = _lapack.zgetrs(lu, piv, rhs[u])
+        prof_count("batch.zgetrs", self.n_units)
         return out
 
     def solve_checked(self, freq: float, rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import BOLTZMANN, kelvin
+from repro.obs.profile import prof_count
 from repro.spice.devices.bjt import BjtGroup
 from repro.spice.devices.diode import DiodeGroup
 from repro.spice.devices.mosfet import MosGroup
@@ -229,6 +230,7 @@ class MnaSystem:
 
         # index arrays reused every Newton iteration
         self._prepare_index_arrays()
+        prof_count("mna.systems_built")
 
     # ------------------------------------------------------------------
     # Index helpers
@@ -542,6 +544,7 @@ class MnaSystem:
         and noise).  ``gmin`` adds a leak to every node diagonal (gmin
         stepping).
         """
+        prof_count("mna.assemble")
         dim = self.size + 1
         jac = self.g_static.copy()
         resid = self.g_static @ x_ext - rhs_ext

@@ -52,6 +52,7 @@ import threading
 import time
 
 from repro.faults.harness import fault_point
+from repro.obs.profile import prof_count
 
 #: Environment variable naming the default store root for the CLI.
 STORE_ENV = "REPRO_STORE"
@@ -274,6 +275,7 @@ class ResultStore:
                          json.dumps(meta or {}, sort_keys=True), sha))
         if not rows:
             return
+        prof_count("store.payload_writes", len(rows))
 
         def _commit():
             with self.conn as conn:
@@ -316,6 +318,7 @@ class ResultStore:
         corruption must never crash the reader *or* silently serve a
         wrong record.
         """
+        prof_count("store.payload_reads")
         try:
             fault_point("store.payload_read", key=key)
             text = (self.root / rel).read_text()
@@ -397,6 +400,7 @@ class ResultStore:
         the caller re-executes exactly those units.
         """
         keys = list(keys)
+        prof_count("store.index_probes", len(keys))
         out: set = set()
         for i in range(0, len(keys), 500):
             batch = keys[i:i + 500]

@@ -1,0 +1,133 @@
+"""Campaign-layer observability: byte-identity armed, spans, profiles.
+
+The load-bearing contract of the obs PR: arming tracing and profiling
+must not move a single bit of any executor's export.  Spans record
+timing and metadata only; profile snapshots ride in
+``CampaignResult.stats``, which ``to_json()`` never serialises.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import (
+    BatchedCampaignExecutor,
+    CampaignSpec,
+    ProcessPoolCampaignExecutor,
+    SerialExecutor,
+    run_campaign,
+)
+from repro.obs.profile import Profiler
+from repro.obs.trace import Tracer
+
+SPEC = CampaignSpec(
+    builder="micamp", corners=("tt", "ss"), temps_c=(25.0,),
+    seeds=(0, 1), gain_codes=(5,),
+    measurements=("offset_v", "iq_ma", "gain_1khz_db"),
+)
+
+
+@pytest.fixture(scope="module")
+def disarmed_json():
+    return run_campaign(SPEC, executor=SerialExecutor()).to_json()
+
+
+class TestByteIdentityArmed:
+    @pytest.mark.parametrize("make_executor", [
+        SerialExecutor,
+        BatchedCampaignExecutor,
+        lambda: ProcessPoolCampaignExecutor(max_workers=2),
+    ], ids=["serial", "batched", "pool"])
+    def test_armed_export_matches_disarmed(self, make_executor,
+                                           disarmed_json):
+        executor = make_executor()
+        tracer, profiler = Tracer(), Profiler()
+        try:
+            with tracer.activate(), profiler.activate():
+                armed = run_campaign(SPEC, executor=executor)
+        finally:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+        assert armed.to_json() == disarmed_json
+        assert tracer.recorded > 0, "tracing armed but no spans recorded"
+
+    def test_stats_sidecar_never_serialised(self):
+        with Profiler().activate():
+            result = run_campaign(SPEC, executor=SerialExecutor())
+        assert result.stats is not None
+        assert "profile" in result.stats
+        assert "stats" not in result.to_json()
+
+    def test_disarmed_run_has_no_stats(self):
+        result = run_campaign(SPEC, executor=SerialExecutor())
+        assert result.stats is None
+
+
+class TestSpans:
+    def test_chunk_spans_nest_under_campaign_run(self):
+        tracer = Tracer()
+        with tracer.activate():
+            run_campaign(SPEC, executor=SerialExecutor())
+        spans = tracer.spans()
+        run = next(s for s in spans if s["name"] == "campaign.run")
+        chunks = [s for s in spans if s["name"] == "campaign.chunk"]
+        assert chunks, "no campaign.chunk spans"
+        assert all(c["parent_id"] == run["span_id"] for c in chunks)
+        assert all(c["trace_id"] == run["trace_id"] for c in chunks)
+        assert run["attrs"]["n_units"] == SPEC.n_units
+
+    def test_pool_worker_spans_ship_home_with_parentage(self):
+        tracer = Tracer()
+        pool = ProcessPoolCampaignExecutor(max_workers=2)
+        try:
+            with tracer.activate():
+                run_campaign(SPEC, executor=pool)
+        finally:
+            pool.close()
+        spans = tracer.spans()
+        run = next(s for s in spans if s["name"] == "campaign.run")
+        worker = [s for s in spans if s["name"] == "campaign.pool_chunk"]
+        assert worker, "worker spans never shipped back"
+        assert all(w["trace_id"] == run["trace_id"] for w in worker)
+        assert all(w["parent_id"] == run["span_id"] for w in worker)
+        assert any(w["pid"] != os.getpid() for w in worker), \
+            "expected at least one span recorded in a child process"
+
+    def test_batch_group_spans_recorded(self):
+        tracer = Tracer()
+        with tracer.activate():
+            run_campaign(SPEC, executor=BatchedCampaignExecutor())
+        names = [s["name"] for s in tracer.spans()]
+        assert "campaign.batch_group" in names
+
+
+class TestProfile:
+    def test_units_run_counter_matches_spec(self):
+        profiler = Profiler()
+        with profiler.activate():
+            run_campaign(SPEC, executor=SerialExecutor())
+        counts = profiler.snapshot()["counts"]
+        assert counts["campaign.units_run"] == SPEC.n_units
+        assert counts["dc.operating_points"] >= SPEC.n_units
+
+    def test_pool_merges_worker_profiles(self):
+        profiler = Profiler()
+        pool = ProcessPoolCampaignExecutor(max_workers=2)
+        try:
+            with profiler.activate():
+                run_campaign(SPEC, executor=pool)
+        finally:
+            pool.close()
+        counts = profiler.snapshot()["counts"]
+        assert counts.get("campaign.units_run") == SPEC.n_units, \
+            "worker profile snapshots never merged home"
+
+    def test_result_stats_carries_snapshot(self):
+        with Profiler().activate():
+            result = run_campaign(SPEC, executor=BatchedCampaignExecutor())
+        profile = result.stats["profile"]
+        # The batched executor never enters run_unit — its units are
+        # stamped and solved as one tensor, under batch.* counters.
+        assert profile["counts"]["batch.units_stamped"] == SPEC.n_units
+        assert profile["counts"]["campaign.batch_groups"] >= 1

@@ -1,0 +1,182 @@
+"""Histogram math and the Prometheus text exposition.
+
+The quantile contract: estimates are exact at bucket edges and off by
+at most one bucket width inside, which is pinned here against
+``numpy.quantile`` on known data.
+"""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    parse_prometheus,
+    render_prometheus,
+    sanitize,
+)
+
+
+class TestHistogramBasics:
+    def test_counts_and_sum(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.0)
+
+    def test_snapshot_buckets_are_cumulative_and_end_at_total(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 8.0):
+            h.observe(v)
+        buckets = h.snapshot()["buckets"]
+        counts = [b["count"] for b in buckets]
+        assert counts == sorted(counts)             # monotone
+        assert buckets[-1]["le"] == "+Inf"
+        assert buckets[-1]["count"] == 4            # includes overflow
+        assert counts[:-1] == [2, 3, 3]
+
+    def test_empty_histogram_quantile_is_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_overflow_quantile_clamps_to_last_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, math.inf))
+
+    def test_quantiles_labels(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        assert set(h.quantiles()) == {"p50", "p95", "p99"}
+
+    def test_default_buckets_span_ms_to_minute(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 60.0
+
+
+class TestQuantileVsNumpy:
+    """Pin the interpolation against numpy on known distributions."""
+
+    def test_uniform_samples_within_one_bucket_width(self):
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0.0, 1.0, size=5000)
+        width = 0.1
+        h = Histogram(buckets=np.arange(width, 1.0 + width / 2, width))
+        for v in data:
+            h.observe(v)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            ref = float(np.quantile(data, q))
+            assert abs(h.quantile(q) - ref) <= width, (q, h.quantile(q), ref)
+
+    def test_exponential_samples_within_owning_bucket(self):
+        rng = np.random.default_rng(11)
+        data = rng.exponential(scale=0.05, size=5000)
+        bounds = list(DEFAULT_BUCKETS)
+        h = Histogram()
+        for v in data:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            ref = float(np.quantile(data, q))
+            est = h.quantile(q)
+            # the estimate and truth must share a bucket or be adjacent
+            lo = max([0.0] + [b for b in bounds if b <= ref])
+            hi = min([b for b in bounds if b >= ref] or [bounds[-1]])
+            assert lo - (hi - lo) <= est <= hi + (hi - lo), (q, est, ref)
+
+    def test_point_mass_stays_inside_owning_bucket(self):
+        # Interpolation spreads a bucket's mass uniformly, so a point
+        # mass at 2.0 (bucket (1, 2]) estimates inside that bucket —
+        # off by at most one bucket width — and is exact at q=1.
+        h = Histogram(buckets=(1.0, 2.0, 3.0))
+        for _ in range(100):
+            h.observe(2.0)
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_median_of_evenly_filled_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for v in (0.5,) * 50 + (1.5,) * 50:
+            h.observe(v)
+        # rank 50 falls exactly at the first bucket's upper edge
+        assert h.quantile(0.5) == pytest.approx(1.0)
+
+
+class TestHistogramConcurrency:
+    def test_parallel_observe_loses_nothing(self):
+        h = Histogram(buckets=(0.5, 1.0))
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for i in range(per_thread):
+                h.observe(0.25 if i % 2 else 0.75)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = h.snapshot()
+        assert snap["count"] == n_threads * per_thread
+        assert snap["sum"] == pytest.approx(n_threads * per_thread * 0.5)
+
+
+class TestPrometheus:
+    def test_render_and_parse_round_trip(self):
+        h = Histogram(buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        text = render_prometheus(
+            counters={"jobs_done": 3},
+            gauges={"queue_depth": 2.0},
+            histograms={"http.request_s": h},
+        )
+        series = parse_prometheus(text)
+        assert series["repro_jobs_done_total"]["type"] == "counter"
+        assert series["repro_jobs_done_total"]["samples"] == [
+            ("repro_jobs_done_total", 3.0)]
+        assert series["repro_queue_depth"]["type"] == "gauge"
+        hist = series["repro_http_request_s"]
+        assert hist["type"] == "histogram"
+        buckets = [(labels, v) for labels, v in hist["samples"]
+                   if "_bucket" in labels]
+        assert buckets[-1][0].endswith('le="+Inf"} ') is False  # labels text
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts)             # cumulative
+        assert counts[-1] == 2.0
+        assert ("repro_http_request_s_count", 2.0) in hist["samples"]
+
+    def test_every_series_has_help_and_type(self):
+        text = render_prometheus(counters={"a": 1}, gauges={"b": 2},
+                                 histograms={"c": Histogram().snapshot()})
+        for name, series in parse_prometheus(text).items():
+            assert series["type"] in ("counter", "gauge", "histogram"), name
+            assert series["help"], name
+
+    def test_snapshot_dict_accepted_for_histograms(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        from_obj = render_prometheus(histograms={"x": h})
+        from_snap = render_prometheus(histograms={"x": h.snapshot()})
+        assert from_obj == from_snap
+
+    def test_sanitize_maps_dots_to_underscores(self):
+        assert sanitize("http.request_s") == "http_request_s"
+        assert sanitize("store-entries") == "store_entries"
+
+    def test_counter_names_get_total_suffix(self):
+        text = render_prometheus(counters={"jobs_done": 1})
+        assert "repro_jobs_done_total 1" in text

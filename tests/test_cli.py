@@ -246,3 +246,55 @@ class TestStoreCommands:
         main(args)
         out = capsys.readouterr().out
         assert "simulated 0" in out
+
+
+class TestObsCli:
+    """`--profile` / `--trace-out` on campaign, and `repro trace`."""
+
+    ARGS = ["campaign", "--builder", "bias", "--corners", "tt",
+            "--temps", "25", "--measure", "bias_current_ua"]
+
+    def test_campaign_profile_prints_counters(self, capsys):
+        assert main(self.ARGS + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile — counters:" in out
+        assert "campaign.batch_groups" in out
+
+    def test_campaign_trace_out_then_trace_renders_tree(self, tmp_path,
+                                                        capsys):
+        trace_file = tmp_path / "spans.jsonl"
+        assert main(self.ARGS + ["--trace-out", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace: wrote" in out
+        assert trace_file.exists()
+
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "span(s) across" in out and "campaign.run" in out
+
+    def test_trace_json_round_trips(self, tmp_path, capsys):
+        trace_file = tmp_path / "spans.jsonl"
+        assert main(self.ARGS + ["--trace-out", str(trace_file)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--json"]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert {s["name"] for s in spans} >= {"campaign.run",
+                                              "campaign.chunk"}
+
+    def test_trace_missing_file_exit_2(self, capsys):
+        assert main(["trace", "/nonexistent/spans.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_optimize_profile_prints_engine_counters(self, capsys):
+        # Exit code reflects the spec verdict (tiny budgets fail Table
+        # 1), which is not what this test pins — only the profile dump.
+        main(["optimize", "--budget", "4", "--seed", "11",
+              "--no-progress", "--profile"])
+        out = capsys.readouterr().out
+        assert "profile — counters:" in out
+        assert "optimize.memo_misses" in out
+
+    def test_campaign_without_flags_stays_silent(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "profile —" not in out and "trace:" not in out

@@ -64,10 +64,12 @@ def _ns_per_call(fn, n: int) -> float:
 
 
 def micro_bench(smoke: bool) -> dict:
+    from repro.obs.events import active_event_log, event
     from repro.obs.profile import active_profiler, prof_count
     from repro.obs.trace import active_tracer, span, trace_point
 
-    assert active_tracer() is None and active_profiler() is None, \
+    assert (active_tracer() is None and active_profiler() is None
+            and active_event_log() is None), \
         "micro bench needs the hooks disarmed (unset REPRO_OBS)"
     n = 200_000 if smoke else 2_000_000
 
@@ -80,21 +82,23 @@ def micro_bench(smoke: bool) -> dict:
         "span_ns": _ns_per_call(span_hook, n),
         "trace_point_ns": _ns_per_call(lambda: trace_point("bench.noop"), n),
         "prof_count_ns": _ns_per_call(lambda: prof_count("bench.noop"), n),
+        "event_ns": _ns_per_call(lambda: event("bench.noop"), n),
     }
     out["worst_ns"] = max(out["span_ns"], out["trace_point_ns"],
-                          out["prof_count_ns"])
+                          out["prof_count_ns"], out["event_ns"])
     return out
 
 
-def _firings(tracer, profiler) -> int:
+def _firings(tracer, profiler, log) -> int:
     """Hook firings observed by an armed run: spans recorded plus
-    profile counter bumps.  Counters accumulated with ``n > 1`` count
-    their full ``n`` — an overestimate, which only makes the analytic
-    overhead bound more conservative."""
+    profile counter bumps plus structured events.  Counters accumulated
+    with ``n > 1`` count their full ``n`` — an overestimate, which only
+    makes the analytic overhead bound more conservative."""
     snap = profiler.snapshot()
     return (tracer.recorded
             + sum(snap["counts"].values())
-            + len(snap["times_s"]))
+            + len(snap["times_s"])
+            + log.recorded)
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +123,7 @@ def _campaign_spec(smoke: bool):
 
 def campaign_bench(smoke: bool, worst_ns: float) -> dict:
     from repro.campaign import BatchedCampaignExecutor, run_campaign
+    from repro.obs.events import EventLog
     from repro.obs.profile import Profiler
     from repro.obs.trace import Tracer
 
@@ -133,15 +138,15 @@ def campaign_bench(smoke: bool, worst_ns: float) -> dict:
         disarmed_json = run_campaign(spec, executor=executor).to_json()
         best_cpu = min(best_cpu, time.process_time() - c0)
 
-    tracer, profiler = Tracer(), Profiler()
-    with tracer.activate(), profiler.activate():
+    tracer, profiler, log = Tracer(), Profiler(), EventLog()
+    with tracer.activate(), profiler.activate(), log.activate():
         c0 = time.process_time()
         armed_json = run_campaign(spec, executor=executor).to_json()
         armed_cpu = time.process_time() - c0
     assert armed_json == disarmed_json, \
-        "tracing/profiling armed changed the campaign export bytes"
+        "tracing/profiling/events armed changed the campaign export bytes"
 
-    firings = _firings(tracer, profiler)
+    firings = _firings(tracer, profiler, log)
     frac = firings * worst_ns * 1e-9 / best_cpu
     return {
         "n_units": spec.n_units,
@@ -171,6 +176,7 @@ def _serve_payloads(smoke: bool) -> list[dict]:
 
 
 def serve_bench(smoke: bool, worst_ns: float) -> dict:
+    from repro.obs.events import EventLog
     from repro.obs.profile import Profiler
     from repro.obs.trace import Tracer
     from repro.serve import CharacterizationService, ServeClient, serve_background
@@ -203,17 +209,17 @@ def serve_bench(smoke: bool, worst_ns: float) -> dict:
             warm_pass()
         t_disarmed = time.perf_counter() - t0
 
-        tracer, profiler = Tracer(), Profiler()
-        with tracer.activate(), profiler.activate():
+        tracer, profiler, log = Tracer(), Profiler(), EventLog()
+        with tracer.activate(), profiler.activate(), log.activate():
             t0 = time.perf_counter()
             for _ in range(passes):
                 warm_pass()
             t_armed = time.perf_counter() - t0
         assert client.result_bytes(client.jobs()[0]["id"]) == warm_baseline, \
-            "tracing/profiling armed changed the served bytes"
+            "tracing/profiling/events armed changed the served bytes"
 
         n_requests = passes * len(payloads)
-        firings = _firings(tracer, profiler)
+        firings = _firings(tracer, profiler, log)
         frac = firings * worst_ns * 1e-9 / t_disarmed
         return {
             "n_requests": n_requests,
@@ -238,7 +244,8 @@ def run_bench(smoke: bool) -> dict:
     print(f"[bench_obs] disarmed hook cost over {micro['n_calls']} calls: "
           f"span {micro['span_ns']:.0f} ns, "
           f"trace_point {micro['trace_point_ns']:.0f} ns, "
-          f"prof_count {micro['prof_count_ns']:.0f} ns")
+          f"prof_count {micro['prof_count_ns']:.0f} ns, "
+          f"event {micro['event_ns']:.0f} ns")
 
     campaign = campaign_bench(smoke, micro["worst_ns"])
     print(f"  campaign (batched, {campaign['n_units']} units): "

@@ -38,9 +38,10 @@ import numpy as np
 
 from repro.campaign.builders import BUILDERS
 from repro.campaign.measurements import MEASUREMENTS
-from repro.campaign.runner import ChunkCache, UnitRuntime
+from repro.campaign.runner import ChunkCache, UnitRuntime, emit_unit_health
 from repro.campaign.spec import CampaignSpec, WorkUnit
 from repro.faults.harness import fault_point
+from repro.obs.events import active_event_log, event
 from repro.obs.profile import prof_count
 from repro.obs.trace import span
 from repro.spice.batch import BatchedSystem, circuit_signature, newton_batch
@@ -227,6 +228,10 @@ def _b_gain(gr: _GroupRun, live: list[int], records: list) -> None:
     fwd, ok = ctx.solve_checked(1e3, rhs)
     for u in live:
         if not ok[u]:
+            event("campaign.unit_fallback", "warn",
+                  corner=gr.units[u].corner, temp_c=gr.units[u].temp_c,
+                  seed=gr.units[u].seed, measurement="gain_1khz_db",
+                  reason="batched small-signal residual rejection")
             _serial_measure(gr, "gain_1khz_db", u, records)
             continue
         built = gr.builts[u]
@@ -261,6 +266,10 @@ def _b_rejection(gr: _GroupRun, name: str, live: list[int], records: list,
     fwd, ok = ctx.solve_checked(1e3, rhs)
     for u in solved:
         if not ok[u]:
+            event("campaign.unit_fallback", "warn",
+                  corner=gr.units[u].corner, temp_c=gr.units[u].temp_c,
+                  seed=gr.units[u].seed, measurement=name,
+                  reason="batched small-signal residual rejection")
             _serial_measure(gr, name, u, records)
             continue
         built = gr.builts[u]
@@ -330,14 +339,20 @@ def _run_group(spec: CampaignSpec, units: list[WorkUnit], builts: list,
     # Units the lockstep plain-Newton pass could not converge re-enter
     # the full serial strategy ladder from scratch (the serial path would
     # fail its identical plain-Newton stage the same way first).
+    fallback_ops: dict[int, OperatingPoint] = {}
     for u in range(len(units)):
         if converged[u]:
             continue
+        event("campaign.unit_fallback", "warn", corner=units[u].corner,
+              temp_c=units[u].temp_c, seed=units[u].seed,
+              gain_code=units[u].gain_code,
+              reason="lockstep newton non-convergence; serial strategy ladder")
         op = dc_operating_point(builts[u].circuit, temp_c=units[u].temp_c)
         rt = UnitRuntime(spec=spec, unit=units[u], tech=techs[u],
                          built=builts[u], op=op)
         for name in spec.measurements:
             records[u].update(MEASUREMENTS[name](rt))
+        fallback_ops[u] = op
 
     for name in spec.measurements:
         impl = _BATCHED.get(name)
@@ -346,6 +361,19 @@ def _run_group(spec: CampaignSpec, units: list[WorkUnit], builts: list,
                 _serial_measure(gr, name, u, records)
         else:
             impl(gr, live, records)
+
+    # Health events only after the whole group succeeded — a later
+    # measurement exception downgrades the group to run_unit, which
+    # emits its own health, and the sidecar must not double-count.
+    if active_event_log() is not None:
+        for u in range(len(units)):
+            if converged[u]:
+                emit_unit_health(units[u],
+                                 {"iterations": int(iterations[u]),
+                                  "strategy": "newton",
+                                  "worst_resid": None, "batched": True})
+            else:
+                emit_unit_health(units[u], fallback_ops[u].health())
     return records
 
 
@@ -390,11 +418,14 @@ def run_chunk_batched(spec: CampaignSpec, units: list[WorkUnit],
                         f"builder {spec.builder!r} is not batchable")
                 recs = _run_group(spec, g_units, g_builts, g_techs, stats)
                 prof_count("campaign.batch_groups")
-            except Exception:
+            except Exception as exc:
                 if stats is not None:
                     stats["fallback_units"] = (stats.get("fallback_units", 0)
                                                + len(idxs))
                 prof_count("campaign.batch_group_fallbacks")
+                event("campaign.batch_group_fallback", "warn",
+                      builder=spec.builder, n_units=len(idxs),
+                      error=f"{type(exc).__name__}: {exc}")
                 sp.annotate(fallback=True)
                 recs = [run_unit(spec, unit, cache) for unit in g_units]
         for i, rec in zip(idxs, recs):

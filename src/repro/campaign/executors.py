@@ -34,8 +34,10 @@ from typing import Iterator
 from repro.campaign.runner import ChunkCache, run_chunk, worker_chunk_cache
 from repro.campaign.spec import CampaignSpec, WorkUnit
 from repro.faults.harness import fault_point
+from repro.obs import events as _events
 from repro.obs import profile as _prof
 from repro.obs import trace as _trace
+from repro.obs.events import event
 from repro.obs.trace import span
 
 
@@ -128,26 +130,31 @@ def _run_chunk_task(spec: CampaignSpec, chunk: list[WorkUnit],
     deterministically on the first dispatch and recovers on the
     retry.
 
-    Returns ``(records, spans, prof_snapshot)``.  When observability is
-    armed in the worker (the harness env is inherited across fork), the
-    chunk runs under *fresh local* collectors — never the fork-copied
-    parent tracer, whose export file handle must not be written from a
-    child — and the collected span dicts / profile snapshot travel home
-    with the records for the parent to absorb/merge.  ``trace_ctx`` is
-    the parent's ``(trace_id, span_id)`` so worker spans nest under the
-    dispatching campaign span.  Disarmed, both extra slots are ``None``
+    Returns ``(records, spans, prof_snapshot, events)``.  When
+    observability is armed in the worker (the harness env is inherited
+    across fork), the chunk runs under *fresh local* collectors — never
+    the fork-copied parent tracer/event log, whose export file handles
+    must not be written from a child — and the collected span dicts /
+    profile snapshot / event dicts travel home with the records for the
+    parent to absorb/merge.  ``trace_ctx`` is the parent's
+    ``(trace_id, span_id)`` so worker spans *and events* nest under the
+    dispatching campaign span.  Disarmed, the extra slots are ``None``
     and the records are untouched either way.
     """
     fault_point("campaign.pool_chunk", attempt=attempt, n_units=len(chunk))
     want_trace = _trace.active_tracer() is not None
     want_prof = _prof.active_profiler() is not None
-    if not want_trace and not want_prof:
-        return run_chunk(spec, chunk, cache=worker_chunk_cache(spec)), None, None
+    want_events = _events.active_event_log() is not None
+    if not want_trace and not want_prof and not want_events:
+        return (run_chunk(spec, chunk, cache=worker_chunk_cache(spec)),
+                None, None, None)
 
     collector = _trace.Tracer() if want_trace else None
     local_prof = _prof.Profiler() if want_prof else None
+    local_events = _events.EventLog() if want_events else None
     prev_tracer = _trace.activate(collector) if want_trace else None
     prev_prof = _prof.activate(local_prof) if want_prof else None
+    prev_events = _events.activate(local_events) if want_events else None
     try:
         if want_trace and trace_ctx is not None:
             with _trace.seed_context(*trace_ctx):
@@ -165,9 +172,12 @@ def _run_chunk_task(spec: CampaignSpec, chunk: list[WorkUnit],
             _trace._set_active(prev_tracer)
         if want_prof:
             _prof._set_active(prev_prof)
+        if want_events:
+            _events._set_active(prev_events)
     spans = collector.spans() if want_trace else None
     prof_snap = local_prof.snapshot() if want_prof else None
-    return records, spans, prof_snap
+    child_events = local_events.events() if want_events else None
+    return records, spans, prof_snap, child_events
 
 
 class ProcessPoolCampaignExecutor:
@@ -259,13 +269,17 @@ class ProcessPoolCampaignExecutor:
                 }
                 for future in as_completed(futures):
                     i = futures[future]
-                    records, child_spans, child_prof = future.result()
+                    records, child_spans, child_prof, child_events = \
+                        future.result()
                     tracer = _trace.active_tracer()
                     if child_spans and tracer is not None:
                         tracer.absorb(child_spans)
                     profiler = _prof.active_profiler()
                     if child_prof and profiler is not None:
                         profiler.merge(child_prof)
+                    log = _events.active_event_log()
+                    if child_events and log is not None:
+                        log.absorb(child_events)
                     results[i] = records
                     pending.discard(i)
                     while next_to_yield in results:
@@ -274,12 +288,18 @@ class ProcessPoolCampaignExecutor:
             except BrokenExecutor as exc:
                 self._shutdown_pool()
                 self.restarts += 1
+                event("campaign.pool_restart", "error",
+                      restarts=self.restarts, pending_chunks=len(pending),
+                      error=f"{type(exc).__name__}: {exc}")
                 for i in pending:
                     attempts[i] += 1
                 exhausted = sorted(i for i in pending
                                    if attempts[i] >= self.max_attempts)
                 if exhausted:
                     units = [u for i in exhausted for u in chunks[i]]
+                    event("campaign.pool_exhausted", "error",
+                          n_chunks=len(exhausted), n_units=len(units),
+                          max_attempts=self.max_attempts)
                     raise CampaignExecutionError(
                         f"pool broke {attempts[exhausted[0]]} times on "
                         f"{len(exhausted)} chunk(s) ({len(units)} units) "

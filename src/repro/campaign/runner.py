@@ -32,6 +32,7 @@ import numpy as np
 from repro.campaign.builders import BuiltUnit, build_unit_circuit
 from repro.campaign.measurements import MEASUREMENTS
 from repro.campaign.spec import CampaignSpec, WorkUnit
+from repro.obs.events import active_event_log, event
 from repro.obs.profile import active_profiler, prof_count
 from repro.obs.trace import span
 from repro.process.corners import apply_corner
@@ -92,6 +93,20 @@ class ChunkCache:
         return self._circuit
 
 
+def emit_unit_health(unit: WorkUnit, health: dict) -> None:
+    """Emit one ``unit.solver_health`` event for an executed unit.
+
+    These info-severity events are the raw material of the campaign's
+    solver-health sidecar (``result.stats["solver_health"]``): they ship
+    home from pool workers over the same channel as every other event,
+    so the sidecar covers all executors.  Only called while an event log
+    is armed.
+    """
+    event("unit.solver_health", "info", corner=unit.corner,
+          temp_c=unit.temp_c, supply=unit.supply, seed=unit.seed,
+          gain_code=unit.gain_code, **health)
+
+
 def run_unit(spec: CampaignSpec, unit: WorkUnit, cache: ChunkCache) -> dict[str, float]:
     """Execute one work unit: build (or reuse), solve DC once, measure."""
     prof_count("campaign.units_run")
@@ -102,6 +117,8 @@ def run_unit(spec: CampaignSpec, unit: WorkUnit, cache: ChunkCache) -> dict[str,
     record: dict[str, float] = {}
     for name in spec.measurements:
         record.update(MEASUREMENTS[name](rt))
+    if active_event_log() is not None:
+        emit_unit_health(unit, op.health())
     return record
 
 
@@ -213,7 +230,8 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
     units = spec.expand() if units is None else list(units)
 
     with span("campaign.run", builder=spec.builder, n_units=len(units),
-              executor=getattr(executor, "name", type(executor).__name__)):
+              executor=getattr(executor, "name",
+                               type(executor).__name__)) as run_span:
         if store is None:
             records = _execute_units(spec, units, executor, chunk_size,
                                      progress)
@@ -265,7 +283,51 @@ def run_campaign(spec: CampaignSpec, executor=None, chunk_size: int | None = Non
                 "store_errors": store_errors,
             }
 
+    stats: dict = {}
     profiler = active_profiler()
     if profiler is not None:
-        result.stats = {"profile": profiler.snapshot()}
+        stats["profile"] = profiler.snapshot()
+    log = active_event_log()
+    if log is not None:
+        stats["solver_health"] = solver_health_sidecar(
+            log, trace_id=getattr(run_span, "trace_id", None))
+        stats["events"] = {"recorded": log.recorded,
+                           "dropped": log.dropped,
+                           "by_severity": log.severity_counts()}
+    if stats:
+        result.stats = stats
     return result
+
+
+def solver_health_sidecar(log, trace_id: str | None = None) -> dict:
+    """Aggregate buffered ``unit.solver_health`` events into the
+    per-campaign sidecar dict.
+
+    ``trace_id`` scopes the aggregation to one campaign's trace when
+    tracing is armed alongside events (a long-lived serve process logs
+    many campaigns into one ring); without tracing every buffered
+    health event is folded in.  Telemetry only — the dict lives on
+    ``CampaignResult.stats`` and is never serialised.
+    """
+    health_events = log.events(name="unit.solver_health")
+    if trace_id is not None:
+        health_events = [e for e in health_events
+                         if e.get("trace_id") == trace_id]
+    units = [dict(e.get("fields") or {}) for e in health_events]
+    resids = [u["worst_resid"] for u in units
+              if isinstance(u.get("worst_resid"), (int, float))]
+    strategies: dict[str, int] = {}
+    fallback_units = 0
+    for u in units:
+        s = str(u.get("strategy"))
+        strategies[s] = strategies.get(s, 0) + 1
+        if u.get("latch_reason") or u.get("small_signal_latches") \
+                or u.get("strategy") not in (None, "newton"):
+            fallback_units += 1
+    return {
+        "n_units": len(units),
+        "units": units,
+        "strategies": strategies,
+        "fallback_units": fallback_units,
+        "worst_resid": max(resids) if resids else None,
+    }

@@ -493,7 +493,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.obs.trace import format_tree, load_jsonl
+    from repro.obs.trace import format_slowest, format_tree, load_jsonl
 
     if args.url is not None:
         from repro.serve import ServeClient, ServeError
@@ -526,7 +526,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     traces = {s.get("trace_id") for s in spans}
     print(f"{len(spans)} span(s) across {len(traces)} trace(s)")
     print(format_tree(spans))
+    if args.top:
+        print()
+        print(format_slowest(spans, top=args.top))
     return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.obs.doctor import format_report, run_doctor
+
+    checks, code = run_doctor(store=args.store, url=args.url,
+                              bench=args.bench, events=args.events)
+    for line in format_report(checks, code):
+        print(line)
+    return code
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -894,7 +907,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="show only one trace id")
     pt.add_argument("--json", action="store_true",
                     help="print the raw span dicts instead of the tree")
+    pt.add_argument("--top", type=int, default=0, metavar="N",
+                    help="also list the N slowest spans by self-time "
+                         "below the tree")
     pt.set_defaults(func=_cmd_trace)
+
+    pd = sub.add_parser(
+        "doctor",
+        help="run stack self-checks and print a pass/warn/fail report",
+        description="Probe each layer like an operator would: DC-solve "
+                    "the bias sanity circuit, read-verify a result "
+                    "store, hit a running service's /healthz, re-run "
+                    "the bench drift watchdog and triage the event "
+                    "log.  Exit 0 healthy, 1 warnings, 2 failures.",
+    )
+    pd.add_argument("--store", default=None, metavar="DIR",
+                    help="result-store root to read-verify")
+    pd.add_argument("--url", default=None, metavar="URL",
+                    help="running service base URL (checks /healthz)")
+    pd.add_argument("--bench", default=None, metavar="FILE",
+                    help="BENCH_perf.json for the drift watchdog")
+    pd.add_argument("--events", default=None, metavar="FILE",
+                    help="event-log JSONL export to triage")
+    pd.set_defaults(func=_cmd_doctor)
 
     pi = sub.add_parser(
         "ingest",

@@ -13,18 +13,31 @@ can never perturb a byte-identity or determinism gate:
 * :mod:`repro.obs.profile` — per-phase accumulators (Newton iterations,
   LU factor/solve, sparse-vs-dense decisions, store I/O, cache levels)
   surfaced through ``CampaignResult.stats`` and ``--profile``.
+* :mod:`repro.obs.events` — structured degradation events (strategy
+  escalations, fallback latches, quarantines, worker restarts) with
+  severities, trace correlation, and ring-buffered retention; surfaced
+  as ``events.*`` counters in ``/v1/metrics`` and triaged by
+  ``repro doctor``.
 
 Arming: ``REPRO_OBS=`` env grammar (parsed at import —
 :mod:`repro.obs.harness`), or scoped ``Tracer.activate()`` /
-``Profiler.activate()`` context managers.
+``Profiler.activate()`` / ``EventLog.activate()`` context managers.
 """
 
+from repro.obs.events import (
+    SEVERITIES,
+    EventLog,
+    active_event_log,
+    event,
+    format_events,
+)
 from repro.obs.harness import (
     OBS_ENV,
     ObsConfig,
     arm,
     arm_from_env,
     config_from_env,
+    events_enabled,
     profile_enabled,
     trace_enabled,
 )
@@ -49,16 +62,18 @@ from repro.obs.trace import (
     format_tree,
     load_jsonl,
     seed_context,
+    slowest_spans,
     span,
     trace_point,
 )
 
 __all__ = [
     "OBS_ENV", "ObsConfig", "arm", "arm_from_env", "config_from_env",
-    "trace_enabled", "profile_enabled",
+    "trace_enabled", "profile_enabled", "events_enabled",
     "DEFAULT_BUCKETS", "Histogram", "parse_prometheus", "render_prometheus",
     "Profiler", "active_profiler", "format_profile", "prof_add",
     "prof_count", "timed",
     "Tracer", "active_tracer", "current_context", "format_tree",
-    "load_jsonl", "seed_context", "span", "trace_point",
+    "load_jsonl", "seed_context", "slowest_spans", "span", "trace_point",
+    "SEVERITIES", "EventLog", "active_event_log", "event", "format_events",
 ]

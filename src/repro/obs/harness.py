@@ -8,9 +8,12 @@ colon-separated options)::
     REPRO_OBS="trace:export=/tmp/spans.jsonl"   # + JSONL append per span
     REPRO_OBS="trace:buffer=100000;profile"     # tracing + profiling
     REPRO_OBS="profile"                         # profiling accumulators
+    REPRO_OBS="events"                          # structured event log
+    REPRO_OBS="events:export=/tmp/events.jsonl" # + JSONL append per event
 
 Components: ``trace`` (span collection — see :mod:`repro.obs.trace`),
-``profile`` (engine accumulators — :mod:`repro.obs.profile`), and
+``profile`` (engine accumulators — :mod:`repro.obs.profile`),
+``events`` (degradation-path event log — :mod:`repro.obs.events`), and
 ``metrics`` (accepted for symmetry; service histograms/gauges are
 always on, they live on ``ServiceMetrics`` and cost one lock + bisect
 per observation).  ``1`` / ``all`` / ``on`` arm every component.
@@ -25,6 +28,7 @@ from __future__ import annotations
 
 import os
 
+from repro.obs import events as _events
 from repro.obs import profile as _profile
 from repro.obs import trace as _trace
 
@@ -36,21 +40,26 @@ class ObsConfig:
     """Parsed arming request: which components, with which options."""
 
     def __init__(self, trace: bool = False, profile: bool = False,
-                 metrics: bool = False, trace_export=None,
-                 trace_buffer: int = 65536) -> None:
+                 metrics: bool = False, events: bool = False,
+                 trace_export=None, trace_buffer: int = 65536,
+                 events_export=None, events_buffer: int = 65536) -> None:
         self.trace = trace
         self.profile = profile
         self.metrics = metrics
+        self.events = events
         self.trace_export = trace_export
         self.trace_buffer = trace_buffer
+        self.events_export = events_export
+        self.events_buffer = events_buffer
 
     @property
     def any(self) -> bool:
-        return self.trace or self.profile or self.metrics
+        return self.trace or self.profile or self.metrics or self.events
 
     def __repr__(self) -> str:  # pragma: no cover — debugging aid
         return (f"ObsConfig(trace={self.trace}, profile={self.profile}, "
-                f"metrics={self.metrics}, export={self.trace_export!r})")
+                f"metrics={self.metrics}, events={self.events}, "
+                f"export={self.trace_export!r})")
 
 
 def config_from_env(spec: str) -> ObsConfig:
@@ -63,24 +72,34 @@ def config_from_env(spec: str) -> ObsConfig:
         component = fields[0].lower()
         if component in ("1", "all", "on", "true"):
             config.trace = config.profile = config.metrics = True
+            config.events = True
         elif component == "trace":
             config.trace = True
         elif component == "profile":
             config.profile = True
         elif component == "metrics":
             config.metrics = True
+        elif component == "events":
+            config.events = True
         else:
             raise ValueError(
                 f"unknown component {component!r} in {OBS_ENV}; one of "
-                "['1', 'all', 'trace', 'profile', 'metrics']")
+                "['1', 'all', 'trace', 'profile', 'metrics', 'events']")
         for opt in fields[1:]:
             if opt.startswith("export="):
-                if component not in ("trace", "1", "all", "on", "true"):
+                if component == "events":
+                    config.events_export = opt[7:]
+                elif component in ("trace", "1", "all", "on", "true"):
+                    config.trace_export = opt[7:]
+                else:
                     raise ValueError(
-                        f"export= applies to trace, not {component!r}")
-                config.trace_export = opt[7:]
+                        f"export= applies to trace/events, not "
+                        f"{component!r}")
             elif opt.startswith("buffer="):
-                config.trace_buffer = int(opt[7:])
+                if component == "events":
+                    config.events_buffer = int(opt[7:])
+                else:
+                    config.trace_buffer = int(opt[7:])
             else:
                 raise ValueError(
                     f"unknown option {opt!r} in {OBS_ENV} part {part!r}")
@@ -100,6 +119,11 @@ def arm(config: ObsConfig) -> dict:
         profiler = _profile.Profiler()
         _profile.activate(profiler)
         armed["profiler"] = profiler
+    if config.events:
+        log = _events.EventLog(buffer=config.events_buffer,
+                               export_path=config.events_export)
+        _events.activate(log)
+        armed["events"] = log
     return armed
 
 
@@ -119,6 +143,11 @@ def trace_enabled() -> bool:
 def profile_enabled() -> bool:
     """Is a profiler armed right now (any scope)?"""
     return _profile.active_profiler() is not None
+
+
+def events_enabled() -> bool:
+    """Is an event log armed right now (any scope)?"""
+    return _events.active_event_log() is not None
 
 
 # CLI / subprocess / CI runs arm the moment any instrumented module

@@ -329,6 +329,46 @@ def format_tree(spans, max_attrs: int = 4) -> str:
     return "\n".join(lines)
 
 
+def slowest_spans(spans, top: int = 10) -> list[dict]:
+    """The ``top`` spans by **self-time** (own duration minus the time
+    covered by direct children, clamped at zero), slowest first.
+
+    Self-time is what makes a hot *leaf* visible: a ``campaign.run``
+    span covering the whole wall clock ranks below the one chunk that
+    actually burned it.  Returns copies of the span dicts with a
+    ``self_s`` key added — what ``repro trace --top`` prints.
+    """
+    child_time: dict[str, float] = {}
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent is not None:
+            child_time[parent] = (child_time.get(parent, 0.0)
+                                  + s.get("dur_s", 0.0))
+    ranked = []
+    for s in spans:
+        self_s = max(0.0, s.get("dur_s", 0.0)
+                     - child_time.get(s.get("span_id"), 0.0))
+        entry = dict(s)
+        entry["self_s"] = self_s
+        ranked.append(entry)
+    ranked.sort(key=lambda s: s["self_s"], reverse=True)
+    return ranked[:max(0, top)]
+
+
+def format_slowest(spans, top: int = 10) -> str:
+    """Flat ``--top`` summary: name, self-time, total, trace id."""
+    rows = slowest_spans(spans, top)
+    if not rows:
+        return ""
+    lines = [f"slowest {len(rows)} spans by self-time:"]
+    for s in rows:
+        lines.append(f"  {s.get('name', '?'):<24} "
+                     f"self {1e3 * s['self_s']:9.2f} ms   "
+                     f"total {1e3 * s.get('dur_s', 0.0):9.2f} ms   "
+                     f"trace {s.get('trace_id', '-')}")
+    return "\n".join(lines)
+
+
 def load_jsonl(path) -> list[dict]:
     """Read spans back from a JSONL export (inverse of the tracer's
     export); blank lines are ignored, corrupt lines raise."""

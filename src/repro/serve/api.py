@@ -9,6 +9,8 @@ Routes (all JSON in, JSON out)::
     GET  /v1/jobs/<id>/result   the result document             -> 200
          ?offset=N&limit=M      one page of campaign rows       -> 200
     GET  /v1/jobs/<id>/trace    the job's collected spans       -> 200/404
+    GET  /v1/events             recent structured events        -> 200/404
+         ?limit=N&severity=S    newest N, optionally filtered   -> 200
     GET  /v1/metrics            counters + gauges + latencies   -> 200
     GET  /metrics               Prometheus text exposition      -> 200
     GET  /healthz               liveness                        -> 200
@@ -133,6 +135,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             return "submit_campaign"
         if path == "/v1/optimize":
             return "submit_optimize"
+        if path == "/v1/events":
+            return "events"
         if path.startswith("/v1/jobs"):
             if path.endswith("/result"):
                 return "result"
@@ -201,6 +205,20 @@ class ServeHandler(BaseHTTPRequestHandler):
         if path == "/v1/jobs":
             return self._send_json(
                 200, {"jobs": [j.view() for j in self.service.queue.jobs()]})
+        if path == "/v1/events":
+            query = parse_qs(split.query)
+            try:
+                limit = int(query.get("limit", ["100"])[0])
+            except ValueError:
+                self.service.metrics.incr("http_errors")
+                return self._error(400, "limit must be an integer")
+            severity = query.get("severity", [None])[0]
+            view = self.service.recent_events(limit, severity=severity)
+            if view is None:
+                self.service.metrics.incr("http_errors")
+                return self._error(
+                    404, "event log disarmed (REPRO_OBS=events arms it)")
+            return self._send_json(200, view)
         parts = path.split("/")
         if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "jobs":
             job = self.service.queue.get(parts[3])

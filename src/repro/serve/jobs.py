@@ -34,6 +34,7 @@ import uuid
 from dataclasses import dataclass, field
 
 from repro.faults.harness import fault_point
+from repro.obs.events import event
 
 #: Job lifecycle states, in order.
 QUEUED = "queued"
@@ -321,8 +322,10 @@ class JobQueue:
         for path in sorted(self.journal_dir.glob("*.json")):
             try:
                 snap = json.loads(path.read_text())
-            except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
                 self.journal_corrupt += 1
+                event("serve.journal_corrupt", "error", file=path.name,
+                      error=f"{type(exc).__name__}: {exc}")
                 try:
                     os.replace(path, path.with_suffix(".json.corrupt"))
                 except OSError:

@@ -58,6 +58,8 @@ import time
 import traceback
 
 from repro.faults.harness import fault_point
+from repro.obs.events import SEVERITIES as EVENT_SEVERITIES
+from repro.obs.events import active_event_log, event
 from repro.obs.metrics import Histogram, render_prometheus
 from repro.obs.trace import active_tracer, span
 from repro.serve import jobs as J
@@ -308,6 +310,9 @@ class CharacterizationService:
                     self._threads[i] = self._spawn_worker()
                     self.metrics.incr("workers_hung")
                     self.metrics.incr("workers_replaced")
+                    event("serve.worker_hung", "error", worker=t.name,
+                          job=active[0],
+                          busy_s=round(now - active[1], 3))
 
     # ------------------------------------------------------------------
     # Store degradation
@@ -320,6 +325,8 @@ class CharacterizationService:
         self.metrics.incr("store_errors")
         if first:
             self.metrics.incr("store_degraded_events")
+            event("serve.store_degraded", "error",
+                  retry_interval_s=self.store_retry_interval)
 
     def _active_store(self):
         """The store if it is believed healthy, else ``None`` (engine-only
@@ -342,6 +349,7 @@ class CharacterizationService:
         with self._store_lock:
             self._store_degraded = False
         self.metrics.incr("store_recovered")
+        event("serve.store_recovered", "info")
         return self.store
 
     @property
@@ -478,6 +486,8 @@ class CharacterizationService:
             except JobTimeout as exc:
                 self.metrics.incr("jobs_timeout")
                 self.metrics.incr("jobs_failed")
+                event("serve.job_timeout", "error", job=job.id,
+                      kind=job.kind, error=str(exc))
                 self.queue.finish(job, J.FAILED, error=str(exc))
             except SpecValidationError as exc:
                 self.metrics.incr("jobs_failed")
@@ -494,8 +504,12 @@ class CharacterizationService:
                 # back loses nothing — then let the thread die and the
                 # watchdog replace it.
                 self.metrics.incr("workers_died")
+                event("serve.worker_died", "error", worker=name,
+                      job=job.id, error=f"{type(exc).__name__}: {exc}")
                 if self.queue.requeue(job):
                     self.metrics.incr("jobs_requeued")
+                    event("serve.job_requeued", "warn", job=job.id,
+                          requeues=job.requeues)
                 else:
                     self.metrics.incr("jobs_failed")
                     self.queue.finish(
@@ -717,6 +731,20 @@ class CharacterizationService:
             "journal.corrupt": self.queue.journal_corrupt,
         }
 
+    def _events_section(self) -> dict:
+        """``events.*``-namespaced event-log health: armed state,
+        monotone totals, and the per-severity tallies.  All zeros while
+        disarmed, so the schema is stable either way."""
+        log = active_event_log()
+        section: dict = {"events.armed": log is not None}
+        counts = (log.severity_counts() if log is not None
+                  else {s: 0 for s in EVENT_SEVERITIES})
+        for severity in EVENT_SEVERITIES:
+            section[f"events.{severity}"] = counts.get(severity, 0)
+        section["events.recorded"] = 0 if log is None else log.recorded
+        section["events.dropped"] = 0 if log is None else log.dropped
+        return section
+
     def metrics_snapshot(self) -> dict:
         self._update_gauges()
         snap = {
@@ -731,6 +759,7 @@ class CharacterizationService:
         }
         snap.update(self._store_section())
         snap.update(self._journal_section())
+        snap.update(self._events_section())
         return snap
 
     def prometheus_text(self) -> str:
@@ -743,6 +772,10 @@ class CharacterizationService:
             elif isinstance(value, (int, float)):
                 self.metrics.set_gauge(name, value)
         for name, value in self._journal_section().items():
+            self.metrics.set_gauge(name,
+                                   float(value) if not isinstance(value, bool)
+                                   else (1.0 if value else 0.0))
+        for name, value in self._events_section().items():
             self.metrics.set_gauge(name,
                                    float(value) if not isinstance(value, bool)
                                    else (1.0 if value else 0.0))
@@ -761,3 +794,20 @@ class CharacterizationService:
         if trace_id is None or tracer is None:
             return None
         return {"trace_id": trace_id, "spans": tracer.spans(trace_id)}
+
+    def recent_events(self, limit: int = 100,
+                      severity: str | None = None) -> dict | None:
+        """The newest ``limit`` structured events (optionally filtered by
+        severity), or ``None`` while the event log is disarmed — the
+        ``/v1/events`` route turns that into a 404, mirroring the trace
+        route's disarmed behaviour."""
+        log = active_event_log()
+        if log is None:
+            return None
+        events = log.events(severity=severity)
+        return {
+            "recorded": log.recorded,
+            "dropped": log.dropped,
+            "by_severity": log.severity_counts(),
+            "events": events[-max(0, int(limit)):],
+        }

@@ -41,6 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import thermal_voltage
+from repro.obs.events import active_event_log, event
 from repro.obs.profile import prof_count
 from repro.spice.devices.bjt import BjtGroup
 from repro.spice.devices.diode import DiodeGroup
@@ -567,4 +568,11 @@ def newton_batch(
                       & (max_resid < itol * 100))
         failed |= solve_failed | nonfinite
 
+    if active_event_log() is not None:
+        n_bad = int((~converged).sum())
+        if n_bad:
+            event("batch.newton_nonconverged", "warn",
+                  circuit=system.pattern.circuit.name, n_units=int(n_units),
+                  n_nonconverged=n_bad,
+                  max_iterations=int(iterations.max()) if n_units else 0)
     return converged, x, iterations

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.events import active_event_log, event
 from repro.obs.profile import prof_count
 from repro.spice.elements import CurrentSource, Mosfet, VoltageSource
 from repro.spice.mna import MnaSystem
@@ -73,12 +74,32 @@ class BjtOpInfo:
 class OperatingPoint:
     """A converged DC solution with inspection helpers."""
 
-    def __init__(self, system: MnaSystem, x_ext: np.ndarray, iterations: int, strategy: str):
+    def __init__(self, system: MnaSystem, x_ext: np.ndarray, iterations: int, strategy: str,
+                 *, worst_resid: float | None = None,
+                 latch_reason: str | None = None):
         self.system = system
         self.x = x_ext
         self.iterations = iterations
         self.strategy = strategy
+        #: Worst KCL residual at the accepted solution [A] (telemetry).
+        self.worst_resid = worst_resid
+        #: Why the sparse Newton path latched to dense, if it did.
+        self.latch_reason = latch_reason
         self._small_signal = None
+
+    def health(self) -> dict:
+        """Solver-health record for this solve — what the campaign
+        sidecar aggregates per unit (never serialised into results)."""
+        h: dict = {"iterations": self.iterations, "strategy": self.strategy,
+                   "worst_resid": self.worst_resid}
+        if self.latch_reason:
+            h["latch_reason"] = self.latch_reason
+        ss = self._small_signal
+        if ss is not None:
+            latches = ss.latch_reasons()
+            if latches:
+                h["small_signal_latches"] = latches
+        return h
 
     def small_signal(self):
         """Cached :class:`repro.spice.linsolve.SmallSignalContext`.
@@ -211,18 +232,36 @@ def _newton(
     rhs: np.ndarray,
     gmin: float,
     options: NewtonOptions,
+    diag: dict | None = None,
 ) -> tuple[bool, np.ndarray, int]:
-    """Damped Newton iteration; returns (converged, x, iterations)."""
+    """Damped Newton iteration; returns (converged, x, iterations).
+
+    ``diag``, when given, is populated with solve forensics: ``resid``
+    (last KCL residual norm seen) and ``latch`` (why the sparse path
+    latched to dense, if it did) — telemetry only, never results.
+    """
     n = system.size
     x = x0.copy()
     x[system.ground_index] = 0.0
     use_sparse = bool(getattr(system, "prefer_sparse", False))
+    last_resid: float | None = None
+
+    def done(converged: bool, iteration: int):
+        if diag is not None and last_resid is not None:
+            diag["resid"] = last_resid
+        return converged, x, iteration
 
     for iteration in range(1, options.max_iterations + 1):
         prof_count("dc.newton_iterations")
         step = _sparse_newton_step(system, x, rhs, gmin) if use_sparse else None
         if use_sparse and step is None:
             use_sparse = False  # fall back to dense for the rest of this solve
+            reason = (f"sparse step rejected at iteration {iteration} "
+                      f"(gmin={gmin:g}); dense for the rest of this solve")
+            if diag is not None:
+                diag["latch"] = reason
+            event("dc.dense_latch", "warn", circuit=system.circuit.name,
+                  iteration=iteration, reason=reason)
         if step is not None:
             prof_count("dc.sparse_steps")
             dx, resid = step
@@ -234,13 +273,15 @@ def _newton(
             try:
                 dx = np.linalg.solve(a, -r)
             except np.linalg.LinAlgError:
+                event("dc.jacobian_singular", "warn",
+                      circuit=system.circuit.name, iteration=iteration)
                 a = a + np.eye(n) * 1e-12
                 try:
                     dx = np.linalg.solve(a, -r)
                 except np.linalg.LinAlgError:
-                    return False, x, iteration
+                    return done(False, iteration)
         if not np.all(np.isfinite(dx)):
-            return False, x, iteration
+            return done(False, iteration)
 
         # Componentwise clamp on node voltages keeps junctions from
         # overshooting; branch currents are left unclamped (linear rows).
@@ -253,12 +294,26 @@ def _newton(
         max_dv = float(np.max(np.abs(dx_nodes))) if nv else 0.0
         kcl = resid[:nv]
         max_resid = float(np.max(np.abs(kcl))) if nv else 0.0
+        last_resid = max_resid
         current_scale = float(np.max(np.abs(x[nv:n]))) if n > nv else 0.0
         itol = options.abstol + options.reltol * max(current_scale, 1e-6)
         if not limited and max_dv < options.vntol and max_resid < itol * 100:
-            return True, x, iteration
+            return done(True, iteration)
 
-    return False, x, options.max_iterations
+    return done(False, options.max_iterations)
+
+
+def _solver_event(name: str, severity: str, system: MnaSystem,
+                  x: np.ndarray, rhs: np.ndarray, diag: dict,
+                  **fields) -> None:
+    """Emit a solver degradation event with residual + condition
+    forensics.  The expensive fields are only computed while an event
+    log is armed — disarmed, this is one ``None`` check."""
+    if active_event_log() is None:
+        return
+    event(name, severity, circuit=system.circuit.name,
+          resid_norm=diag.get("resid"),
+          cond1_est=system.cond1_estimate(x, rhs), **fields)
 
 
 def _initial_guess(system: MnaSystem) -> np.ndarray:
@@ -301,18 +356,26 @@ def dc_operating_point(
     start = x0.copy() if x0 is not None else _initial_guess(system)
 
     prof_count("dc.operating_points")
-    converged, x, iters = _newton(system, start, rhs, gmin=0.0, options=opts)
+    diag: dict = {}
+    converged, x, iters = _newton(system, start, rhs, gmin=0.0, options=opts,
+                                  diag=diag)
     if converged:
         prof_count("dc.strategy.newton")
-        return OperatingPoint(system, x, iters, strategy="newton")
+        return OperatingPoint(system, x, iters, strategy="newton",
+                              worst_resid=diag.get("resid"),
+                              latch_reason=diag.get("latch"))
 
     # --- gmin stepping ---
+    _solver_event("dc.strategy_escalation", "warn", system, x, rhs, diag,
+                  from_strategy="newton", to_strategy="gmin-stepping",
+                  iterations=iters)
     x = start.copy()
     total_iters = iters
     ladder = [10.0 ** (-k) for k in range(3, 13)] + [0.0]
     ok = True
     for gmin in ladder:
-        converged, x_next, iters = _newton(system, x, rhs, gmin=gmin, options=opts)
+        converged, x_next, iters = _newton(system, x, rhs, gmin=gmin,
+                                           options=opts, diag=diag)
         total_iters += iters
         if not converged:
             ok = False
@@ -320,9 +383,14 @@ def dc_operating_point(
         x = x_next
     if ok:
         prof_count("dc.strategy.gmin-stepping")
-        return OperatingPoint(system, x, total_iters, strategy="gmin-stepping")
+        return OperatingPoint(system, x, total_iters, strategy="gmin-stepping",
+                              worst_resid=diag.get("resid"),
+                              latch_reason=diag.get("latch"))
 
     # --- source stepping ---
+    _solver_event("dc.strategy_escalation", "warn", system, x, rhs, diag,
+                  from_strategy="gmin-stepping", to_strategy="source-stepping",
+                  iterations=total_iters)
     x = np.zeros(system.size + 1)
     scale = 0.0
     step = 0.1
@@ -330,7 +398,8 @@ def dc_operating_point(
     while scale < 1.0:
         target = min(1.0, scale + step)
         converged, x_next, iters = _newton(
-            system, x, system.rhs_dc(scale=target), gmin=1e-9, options=opts
+            system, x, system.rhs_dc(scale=target), gmin=1e-9, options=opts,
+            diag=diag,
         )
         total_iters += iters
         if converged:
@@ -340,22 +409,31 @@ def dc_operating_point(
         else:
             step /= 2.0
             if step < 1e-4:
+                _solver_event("dc.nonconvergence", "error", system, x,
+                              system.rhs_dc(scale=target), diag,
+                              stage="source-stepping", scale=scale,
+                              iterations=total_iters)
                 raise ConvergenceError(
                     f"source stepping stalled at {scale:.4f} of full supplies "
                     f"for circuit {system.circuit.name!r}"
                 )
     # Remove the convergence gmin at full excitation.
     for gmin in (1e-10, 1e-12, 0.0):
-        converged, x_next, iters = _newton(system, x, rhs, gmin=gmin, options=opts)
+        converged, x_next, iters = _newton(system, x, rhs, gmin=gmin,
+                                           options=opts, diag=diag)
         total_iters += iters
         if converged:
             x = x_next
     if not converged:
+        _solver_event("dc.nonconvergence", "error", system, x, rhs, diag,
+                      stage="gmin-removal", iterations=total_iters)
         raise ConvergenceError(
             f"no DC operating point found for circuit {system.circuit.name!r}"
         )
     prof_count("dc.strategy.source-stepping")
-    return OperatingPoint(system, x, total_iters, strategy="source-stepping")
+    return OperatingPoint(system, x, total_iters, strategy="source-stepping",
+                          worst_resid=diag.get("resid"),
+                          latch_reason=diag.get("latch"))
 
 
 def dc_sweep(

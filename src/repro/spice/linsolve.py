@@ -41,6 +41,7 @@ import numpy as np
 from scipy import linalg as sla
 from scipy.linalg import lapack as _lapack
 
+from repro.obs.events import event
 from repro.obs.profile import prof_count
 from repro.spice.netlist import is_ground
 
@@ -252,6 +253,10 @@ class SpectralSolver:
             worst = max(worst, float(np.max(resid / (a_norm * x_norm + b_norm))))
         return worst
 
+    #: The scaled residual that last rejected this solver's fast path
+    #: (``None`` if never rejected, or rejected on a non-finite result).
+    last_rejected_residual: float | None = None
+
     def solve(
         self,
         freqs: np.ndarray,
@@ -275,9 +280,13 @@ class SpectralSolver:
             r = self.q.conj().T @ sla.lu_solve(self.lu_g, bf)
             z = self._substitute(r, jw, inv_diag, lower=False)
             fwd = (z @ self.q.T).transpose(0, 2, 1)
-            if not np.all(np.isfinite(fwd)) or self._scaled_residual(
-                freqs, jw, fwd, bf, adjoint=False, worst_idx=worst_idx
-            ) > SPECTRAL_RESIDUAL_TOL:
+            if not np.all(np.isfinite(fwd)):
+                self.last_rejected_residual = None
+                return None
+            res = self._scaled_residual(
+                freqs, jw, fwd, bf, adjoint=False, worst_idx=worst_idx)
+            if res > SPECTRAL_RESIDUAL_TOL:
+                self.last_rejected_residual = res
                 return None
         if adjoint_rhs is not None:
             ba = _as_rhs_matrix(adjoint_rhs, n)
@@ -287,9 +296,13 @@ class SpectralSolver:
             p0 = (y @ self.q_conj.T).reshape(nf * ba.shape[1], n)
             adj = sla.lu_solve(self.lu_g, p0.T, trans=1).T.reshape(nf, ba.shape[1], n)
             adj = adj.transpose(0, 2, 1)
-            if not np.all(np.isfinite(adj)) or self._scaled_residual(
-                freqs, jw, adj, ba, adjoint=True, worst_idx=worst_idx
-            ) > SPECTRAL_RESIDUAL_TOL:
+            if not np.all(np.isfinite(adj)):
+                self.last_rejected_residual = None
+                return None
+            res = self._scaled_residual(
+                freqs, jw, adj, ba, adjoint=True, worst_idx=worst_idx)
+            if res > SPECTRAL_RESIDUAL_TOL:
+                self.last_rejected_residual = res
                 return None
         return fwd, adj
 
@@ -315,8 +328,29 @@ class SmallSignalContext:
         self.cache: dict = {}
         self._spectral: SpectralSolver | None = None
         self._spectral_dead = False
+        self._spectral_dead_reason: str | None = None
         self._sparse_gc: tuple | None = None
         self._sparse_dead = False
+        self._sparse_dead_reason: str | None = None
+
+    def latch_reasons(self) -> dict:
+        """Why fast paths latched off for this context, if they did —
+        ``{"sparse": reason, "spectral": reason}``, empty when healthy.
+        Surfaced through :meth:`repro.spice.dc.OperatingPoint.health`
+        into the campaign's solver-health sidecar."""
+        reasons = {}
+        if self._sparse_dead and self._sparse_dead_reason:
+            reasons["sparse"] = self._sparse_dead_reason
+        if self._spectral_dead and self._spectral_dead_reason:
+            reasons["spectral"] = self._spectral_dead_reason
+        return reasons
+
+    def _latch_sparse_dead(self, reason: str, **fields) -> None:
+        """Kill the sparse path for this context, keeping the cause."""
+        self._sparse_dead = True
+        self._sparse_dead_reason = reason
+        event("linsolve.sparse_dead_latch", "warn",
+              circuit=self.system.circuit.name, reason=reason, **fields)
 
     def rhs_ac(self) -> np.ndarray:
         """Current AC excitation (reduced, no ground slot); treat as read-only."""
@@ -327,8 +361,13 @@ class SmallSignalContext:
         if self._spectral is None and not self._spectral_dead:
             try:
                 self._spectral = SpectralSolver(self.g, self.c)
-            except (np.linalg.LinAlgError, ValueError):
+            except (np.linalg.LinAlgError, ValueError) as exc:
                 self._spectral_dead = True
+                self._spectral_dead_reason = (
+                    f"eigendecomposition failed: {type(exc).__name__}: {exc}")
+                event("linsolve.spectral_dead_latch", "warn",
+                      circuit=self.system.circuit.name,
+                      reason=self._spectral_dead_reason)
         return self._spectral
 
     def solve(
@@ -364,6 +403,10 @@ class SmallSignalContext:
                 # Rejection is per sweep (e.g. one near-degenerate grid);
                 # other grids on this context may still use the fast path.
                 prof_count("linsolve.spectral_rejected")
+                event("linsolve.spectral_rejected", "warn",
+                      circuit=self.system.circuit.name,
+                      n_freqs=int(freqs.size),
+                      resid=solver.last_rejected_residual)
         prof_count("linsolve.path.stacked")
         return solve_stacked(self.g, self.c, freqs, rhs, adjoint_rhs, chunk)
 
@@ -390,7 +433,7 @@ class SmallSignalContext:
             from scipy import sparse
             from scipy.sparse.linalg import splu
         except ImportError:                 # pragma: no cover - scipy baked in
-            self._sparse_dead = True
+            self._latch_sparse_dead("scipy.sparse unavailable")
             return None
         if self._sparse_gc is None:
             self._sparse_gc = (sparse.csc_matrix(self.g), sparse.csc_matrix(self.c))
@@ -407,34 +450,46 @@ class SmallSignalContext:
                 with np.errstate(all="ignore"):
                     lu = splu(a)
                 prof_count("linsolve.sparse_splu")
-            except (RuntimeError, ValueError):
-                self._sparse_dead = True
+            except (RuntimeError, ValueError) as exc:
+                self._latch_sparse_dead(
+                    f"splu factorization failed: {type(exc).__name__}",
+                    freq=float(f))
                 return None
             a_norm = float(np.abs(a).sum(axis=1).max())
             at_norm = float(np.abs(a).sum(axis=0).max())
             if bf is not None:
                 xk = lu.solve(bf)
-                if not self._sparse_accept(a, xk, bf, a_norm):
-                    self._sparse_dead = True
+                res = self._sparse_residual(a, xk, bf, a_norm)
+                if res > SPECTRAL_RESIDUAL_TOL:
+                    self._latch_sparse_dead(
+                        "forward solve rejected on scaled residual",
+                        freq=float(f), resid=res)
                     return None
                 fwd[k] = xk
             if ba is not None:
                 pk = lu.solve(ba, trans="T")
-                if not self._sparse_accept(a.T, pk, ba, at_norm):
-                    self._sparse_dead = True
+                res = self._sparse_residual(a.T, pk, ba, at_norm)
+                if res > SPECTRAL_RESIDUAL_TOL:
+                    self._latch_sparse_dead(
+                        "adjoint solve rejected on scaled residual",
+                        freq=float(f), resid=res)
                     return None
                 adj[k] = pk
         return fwd, adj
 
     @staticmethod
-    def _sparse_accept(a, x: np.ndarray, b: np.ndarray, a_norm: float) -> bool:
-        """Scaled-residual acceptance for one sparse solve (per column)."""
+    def _sparse_residual(a, x: np.ndarray, b: np.ndarray,
+                         a_norm: float) -> float:
+        """Worst scaled residual for one sparse solve (per column);
+        ``inf`` for a non-finite solution.  The caller compares against
+        :data:`SPECTRAL_RESIDUAL_TOL` and keeps the rejecting value for
+        the dead-latch event."""
         if not np.all(np.isfinite(x)):
-            return False
+            return float("inf")
         resid = np.abs(a @ x - b).max(axis=0)
         x_norm = np.abs(x).max(axis=0)
         b_norm = np.abs(b).max(axis=0) + 1e-300
-        return bool(np.max(resid / (a_norm * x_norm + b_norm)) <= SPECTRAL_RESIDUAL_TOL)
+        return float(np.max(resid / (a_norm * x_norm + b_norm)))
 
     def ac_solutions(self, freqs: np.ndarray) -> np.ndarray:
         """Extended AC solutions (n_freq, size+1) for the current stimulus."""

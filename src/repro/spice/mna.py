@@ -459,6 +459,33 @@ class MnaSystem:
         """True when this system is large enough for the sparse solvers."""
         return self.num_nodes >= self.sparse_threshold
 
+    def cond1_estimate(self, x_ext: np.ndarray, rhs_ext: np.ndarray,
+                       gmin: float = 0.0) -> float | None:
+        """Cheap 1-norm condition estimate of the reduced Jacobian at
+        ``x_ext``.
+
+        The classic Hager/Higham estimator (LAPACK ``gecon`` on an LU
+        factorization — O(n^2) beyond the factor), so a non-convergence
+        event or ``repro doctor`` can report *the Jacobian was
+        ill-conditioned* instead of a bare failure.  Diagnostics only:
+        called on cold degradation paths, never on the solve hot path.
+        Returns ``None`` when the estimate itself fails.
+        """
+        try:
+            from scipy.linalg import lapack, lu_factor
+
+            n = self.size
+            jac, _, _ = self.assemble(x_ext, rhs_ext, gmin=gmin)
+            a = np.asarray(jac[:n, :n], dtype=float, order="F")
+            anorm = float(np.abs(a).sum(axis=0).max())
+            lu, _piv = lu_factor(a, check_finite=False)
+            rcond, info = lapack.dgecon(lu, anorm, norm="1")
+            if info != 0 or not np.isfinite(rcond):
+                return None
+            return float("inf") if rcond == 0.0 else float(1.0 / rcond)
+        except Exception:
+            return None
+
     # ------------------------------------------------------------------
     # Right-hand sides
     # ------------------------------------------------------------------

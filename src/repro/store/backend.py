@@ -52,6 +52,7 @@ import threading
 import time
 
 from repro.faults.harness import fault_point
+from repro.obs.events import event
 from repro.obs.profile import prof_count
 
 #: Environment variable naming the default store root for the CLI.
@@ -200,10 +201,14 @@ class ResultStore:
             try:
                 fault_point("store.index", op=op, attempt=attempt)
                 return fn()
-            except sqlite3.OperationalError:
+            except sqlite3.OperationalError as exc:
                 self._count("index_retries")
                 if attempt == self.index_retries - 1:
+                    event("store.index_unavailable", "error", op=op,
+                          attempts=self.index_retries, error=str(exc))
                     raise
+                event("store.index_retry", "warn", op=op, attempt=attempt,
+                      delay_s=delay)
                 time.sleep(delay)
                 delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
@@ -308,6 +313,7 @@ class ResultStore:
             path.unlink(missing_ok=True)
         self._drop_row(key)
         self._count("quarantined")
+        event("store.quarantine", "error", key=key, path=rel, reason=reason)
 
     def _load_payload(self, key: str, rel: str, sha: str):
         """Read + verify one payload; ``None`` means "treat as a miss".
@@ -325,8 +331,10 @@ class ResultStore:
         except FileNotFoundError:
             self._drop_row(key)
             return None
-        except OSError:
+        except OSError as exc:
             self._count("read_errors")
+            event("store.read_error", "warn", key=key,
+                  error=f"{type(exc).__name__}: {exc}")
             return None
         if sha and hashlib.sha256(text.encode("utf-8")).hexdigest() != sha:
             self._quarantine(key, rel, "sha256 mismatch")

@@ -17,6 +17,8 @@ from repro.campaign import (
     SerialExecutor,
     run_campaign,
 )
+from repro.faults import FaultPlan, FaultRule
+from repro.obs.events import EventLog
 from repro.obs.profile import Profiler
 from repro.obs.trace import Tracer
 
@@ -131,3 +133,74 @@ class TestProfile:
         # stamped and solved as one tensor, under batch.* counters.
         assert profile["counts"]["batch.units_stamped"] == SPEC.n_units
         assert profile["counts"]["campaign.batch_groups"] >= 1
+
+
+class TestEvents:
+    @pytest.mark.parametrize("make_executor", [
+        SerialExecutor, BatchedCampaignExecutor,
+    ], ids=["serial", "batched"])
+    def test_solver_health_sidecar_covers_every_unit(self, make_executor):
+        log = EventLog()
+        with log.activate():
+            result = run_campaign(SPEC, executor=make_executor())
+        health = result.stats["solver_health"]
+        assert health["n_units"] == SPEC.n_units
+        assert sum(health["strategies"].values()) == SPEC.n_units
+        assert health["fallback_units"] == 0, \
+            "healthy campaign reported solver fallbacks"
+        assert result.stats["events"]["recorded"] >= SPEC.n_units
+
+    def test_pool_events_ship_home_with_trace_parentage(self):
+        tracer, log = Tracer(), EventLog()
+        pool = ProcessPoolCampaignExecutor(max_workers=2)
+        try:
+            with tracer.activate(), log.activate():
+                result = run_campaign(SPEC, executor=pool)
+        finally:
+            pool.close()
+        run = next(s for s in tracer.spans() if s["name"] == "campaign.run")
+        health = log.events(name="unit.solver_health")
+        assert len(health) == SPEC.n_units, "worker events never shipped back"
+        assert all(e["trace_id"] == run["trace_id"] for e in health)
+        assert any(e["pid"] != os.getpid() for e in health), \
+            "expected at least one event recorded in a child process"
+        assert result.stats["solver_health"]["n_units"] == SPEC.n_units
+
+    def test_batch_group_fallback_emits_and_stays_byte_identical(
+            self, disarmed_json):
+        plan = FaultPlan([FaultRule("campaign.batch_group", times=1)])
+        log = EventLog()
+        with plan.activate(), log.activate():
+            result = run_campaign(SPEC,
+                                  executor=BatchedCampaignExecutor())
+        assert result.to_json() == disarmed_json
+        (fallback,) = log.events(name="campaign.batch_group_fallback")
+        assert fallback["severity"] == "warn"
+        assert "FaultError" in fallback["fields"]["error"]
+        # The units still get health entries via the serial ladder.
+        assert result.stats["solver_health"]["n_units"] == SPEC.n_units
+
+    @pytest.mark.parametrize("make_executor", [
+        BatchedCampaignExecutor,
+        lambda: ProcessPoolCampaignExecutor(max_workers=2),
+    ], ids=["batched", "pool"])
+    def test_armed_chaos_export_matches_disarmed(self, make_executor,
+                                                 disarmed_json):
+        """The acceptance bar: trace+profile+events armed, faults
+        firing, and the export still byte-identical to a quiet
+        disarmed run."""
+        rules = [FaultRule("campaign.batch_group", probability=0.5),
+                 FaultRule("campaign.pool_chunk", kill=True,
+                           when=lambda ctx: ctx["attempt"] == 0, times=1)]
+        executor = make_executor()
+        tracer, profiler, log = Tracer(), Profiler(), EventLog()
+        plan = FaultPlan(rules, seed=7)
+        try:
+            with plan.activate(), tracer.activate(), profiler.activate(), \
+                    log.activate():
+                armed = run_campaign(SPEC, executor=executor)
+        finally:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+        assert armed.to_json() == disarmed_json

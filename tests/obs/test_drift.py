@@ -1,0 +1,124 @@
+"""Drift watchdog: EWMA baseline math, flagging, and the gate exit."""
+
+import json
+
+import pytest
+
+from repro.obs import drift
+from repro.obs.drift import analyze, ewma_baseline, format_flags, report
+
+
+def _payload(values, smoke_latest=False, metric="units_per_s"):
+    points = [{metric: v, "smoke": False} for v in values]
+    if smoke_latest:
+        points[-1]["smoke"] = True
+    return {"campaign_trajectory": points}
+
+
+class TestEwma:
+    def test_constant_series_has_zero_spread(self):
+        mean, std = ewma_baseline([5.0, 5.0, 5.0, 5.0])
+        assert mean == 5.0
+        assert std == 0.0
+
+    def test_mean_tracks_toward_recent(self):
+        mean, _ = ewma_baseline([1.0, 1.0, 1.0, 10.0], alpha=0.5)
+        assert 1.0 < mean < 10.0
+        drifted, _ = ewma_baseline([1.0, 10.0, 10.0, 10.0], alpha=0.5)
+        assert drifted > mean, "recent points must weigh more"
+
+    def test_variance_widens_on_noise(self):
+        _, tight = ewma_baseline([10.0, 10.1, 9.9, 10.0])
+        _, loose = ewma_baseline([10.0, 14.0, 6.0, 12.0])
+        assert loose > tight
+
+
+class TestAnalyze:
+    def test_stable_series_not_flagged(self):
+        flags = analyze(_payload([100.0, 101.0, 99.0, 100.5, 100.0]))
+        assert flags == []
+
+    def test_step_change_flagged(self):
+        flags = analyze(_payload([100.0, 101.0, 99.0, 100.0, 55.0]))
+        assert len(flags) == 1
+        (flag,) = flags
+        assert flag["trajectory"] == "campaign_trajectory"
+        assert flag["metric"] == "units_per_s"
+        assert flag["z"] < -3.0
+
+    def test_needs_minimum_history(self):
+        # Two baseline points: never judged, however wild the move.
+        assert analyze(_payload([100.0, 100.0, 5.0])) == []
+
+    def test_smoke_latest_never_judged(self):
+        flags = analyze(_payload([100.0, 101.0, 99.0, 100.0, 5.0],
+                                 smoke_latest=True))
+        assert flags == []
+
+    def test_smoke_points_excluded_from_baseline(self):
+        points = [{"m": 100.0, "smoke": False} for _ in range(4)]
+        points.insert(2, {"m": 2.0, "smoke": True})
+        points.append({"m": 100.0, "smoke": False})
+        assert analyze({"t_trajectory": points}, min_points=3) == []
+
+    def test_rel_floor_absorbs_host_jitter(self):
+        # 1% wiggle on a tight baseline must not flag: the relative
+        # std floor widens suspiciously tight bands.
+        flags = analyze(_payload([100.0, 100.0, 100.0, 100.0, 101.0]))
+        assert flags == []
+
+    def test_non_numeric_and_bool_keys_ignored(self):
+        points = [{"host": "a", "ok": True, "m": 1.0, "smoke": False}
+                  for _ in range(5)]
+        assert analyze({"t_trajectory": points}) == []
+
+    def test_format_flags(self):
+        flags = analyze(_payload([100.0, 101.0, 99.0, 100.0, 55.0]))
+        text = "\n".join(format_flags(flags))
+        assert "campaign_trajectory.units_per_s" in text
+        assert "z=" in text
+
+
+class TestReport:
+    def test_delta_lines_preserved(self):
+        lines = report(_payload([100.0, 80.0]))
+        text = "\n".join(lines)
+        assert "prev -> latest" in text
+        assert "DRIFT" in text
+
+    def test_empty_payload(self):
+        assert "no *_trajectory" in report({})[0]
+
+
+class TestGate:
+    def _write(self, tmp_path, values):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(_payload(values)))
+        return str(path)
+
+    def test_clean_gate_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, [100.0, 101.0, 99.0, 100.0, 100.2])
+        assert drift.main([path, "--gate"]) == 0
+        assert "no drift flagged" in capsys.readouterr().out
+
+    def test_drift_gates_exit_one(self, tmp_path, capsys):
+        path = self._write(tmp_path, [100.0, 101.0, 99.0, 100.0, 55.0])
+        assert drift.main([path, "--gate"]) == 1
+        assert "drifted" in capsys.readouterr().out
+
+    def test_warn_only_downgrades_gate(self, tmp_path, capsys):
+        path = self._write(tmp_path, [100.0, 101.0, 99.0, 100.0, 55.0])
+        assert drift.main([path, "--gate", "--warn-only"]) == 0
+        assert "not gating" in capsys.readouterr().out
+
+    def test_no_gate_never_fails(self, tmp_path):
+        path = self._write(tmp_path, [100.0, 101.0, 99.0, 100.0, 55.0])
+        assert drift.main([path]) == 0
+
+    def test_missing_file_is_zero(self, tmp_path):
+        assert drift.main([str(tmp_path / "nope.json")]) == 0
+
+    def test_invalid_json_is_zero(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert drift.main([str(path)]) == 0

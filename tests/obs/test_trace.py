@@ -8,9 +8,11 @@ from repro.obs.trace import (
     Tracer,
     active_tracer,
     current_context,
+    format_slowest,
     format_tree,
     load_jsonl,
     seed_context,
+    slowest_spans,
     span,
     trace_point,
 )
@@ -191,3 +193,43 @@ class TestFormatTree:
                   "name": "orphan", "t0": 0.0, "dur_s": 0.0, "attrs": {}}]
         text = format_tree(spans)
         assert "orphan" in text
+
+
+class TestSlowestSpans:
+    def _spans(self):
+        # parent covers 1.0s, child burns 0.9 of it; a sibling leaf
+        # burns 0.5 on its own.
+        return [
+            {"trace_id": "t1", "span_id": "p", "parent_id": None,
+             "name": "parent", "t0": 0.0, "dur_s": 1.0, "attrs": {}},
+            {"trace_id": "t1", "span_id": "c", "parent_id": "p",
+             "name": "child", "t0": 0.0, "dur_s": 0.9, "attrs": {}},
+            {"trace_id": "t2", "span_id": "leaf", "parent_id": None,
+             "name": "leaf", "t0": 0.0, "dur_s": 0.5, "attrs": {}},
+        ]
+
+    def test_ranks_by_self_time_not_total(self):
+        ranked = slowest_spans(self._spans())
+        assert [s["name"] for s in ranked] == ["child", "leaf", "parent"]
+        assert ranked[0]["self_s"] == pytest.approx(0.9)
+        assert ranked[2]["self_s"] == pytest.approx(0.1)
+
+    def test_self_time_clamped_at_zero(self):
+        spans = self._spans()
+        spans[1]["dur_s"] = 1.5  # child "longer" than parent (clock skew)
+        parent = next(s for s in slowest_spans(spans)
+                      if s["name"] == "parent")
+        assert parent["self_s"] == 0.0
+
+    def test_top_limits_and_originals_untouched(self):
+        spans = self._spans()
+        ranked = slowest_spans(spans, top=1)
+        assert len(ranked) == 1
+        assert all("self_s" not in s for s in spans)
+
+    def test_format_slowest_renders_rows(self):
+        text = format_slowest(self._spans(), top=2)
+        lines = text.splitlines()
+        assert lines[0] == "slowest 2 spans by self-time:"
+        assert "child" in lines[1] and "trace t1" in lines[1]
+        assert format_slowest([]) == ""

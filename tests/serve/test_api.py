@@ -79,6 +79,52 @@ class TestLifecycleOverHttp:
         client.wait(view["id"], timeout=60)
 
 
+class TestEventsRoute:
+    def test_disarmed_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v1/events")
+        assert err.value.status == 404
+        assert "disarmed" in str(err.value)
+
+    def test_armed_serves_newest_events(self, client):
+        from repro.obs.events import EventLog, deactivate, event
+
+        log = EventLog()
+        try:
+            with log.activate():
+                event("serve.test_event", "error", detail="boom")
+                status, body = client._request("GET",
+                                               "/v1/events?limit=10")
+        finally:
+            deactivate()
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["recorded"] == 1
+        assert doc["by_severity"]["error"] == 1
+        (got,) = doc["events"]
+        assert got["name"] == "serve.test_event"
+        assert got["fields"] == {"detail": "boom"}
+
+    def test_severity_filter_and_bad_limit(self, client):
+        from repro.obs.events import EventLog, deactivate, event
+
+        log = EventLog()
+        try:
+            with log.activate():
+                event("a", "info")
+                event("b", "error")
+                status, body = client._request(
+                    "GET", "/v1/events?severity=error")
+                assert status == 200
+                assert [e["name"] for e in
+                        json.loads(body)["events"]] == ["b"]
+                with pytest.raises(ServeError) as err:
+                    client._request("GET", "/v1/events?limit=nope")
+                assert err.value.status == 400
+        finally:
+            deactivate()
+
+
 class TestErrorShell:
     def test_malformed_body_is_400_one_line(self, client):
         with pytest.raises(ServeError) as err:

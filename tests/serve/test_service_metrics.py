@@ -114,6 +114,28 @@ class TestMetricsSnapshotSchema:
         assert snap["journal.recovered"] == 0
         assert snap["journal.corrupt"] == 0
 
+    def test_events_section_zeroed_while_disarmed(self, service):
+        snap = service.metrics_snapshot()
+        assert snap["events.armed"] is False
+        for key in ("events.info", "events.warn", "events.error",
+                    "events.recorded", "events.dropped"):
+            assert snap[key] == 0, key
+
+    def test_events_section_counts_while_armed(self, service):
+        from repro.obs.events import EventLog, event
+
+        log = EventLog()
+        with log.activate():
+            event("serve.test_event", "error", detail="x")
+            event("serve.test_event", "info")
+            snap = service.metrics_snapshot()
+        assert snap["events.armed"] is True
+        assert snap["events.error"] == 1
+        assert snap["events.info"] == 1
+        assert snap["events.warn"] == 0
+        assert snap["events.recorded"] == 2
+        assert snap["events.dropped"] == 0
+
     def test_gauges_and_latency_sections_present(self, service):
         job = service.submit_campaign(PAYLOAD)
         assert job.wait(timeout=60)
@@ -156,6 +178,27 @@ class TestPrometheusEndpoint:
         # store/journal state lands as gauges (booleans as 0/1)
         assert series["repro_store_attached"]["samples"][0][1] == 1.0
         assert series["repro_journal_enabled"]["samples"][0][1] == 1.0
+
+    def test_events_severity_counters_round_trip(self, service):
+        from repro.obs.events import EventLog, event
+
+        # Disarmed: the series exist and are zero (schema stability).
+        series = parse_prometheus(service.prometheus_text())
+        for name in ("repro_events_armed", "repro_events_info",
+                     "repro_events_warn", "repro_events_error",
+                     "repro_events_recorded", "repro_events_dropped"):
+            assert series[name]["type"] == "gauge", name
+            assert series[name]["samples"][0][1] == 0.0, name
+        # Armed: severity tallies land in the exposition.
+        log = EventLog()
+        with log.activate():
+            event("serve.test_event", "warn")
+            event("serve.test_event", "error")
+            series = parse_prometheus(service.prometheus_text())
+        assert series["repro_events_armed"]["samples"][0][1] == 1.0
+        assert series["repro_events_warn"]["samples"][0][1] == 1.0
+        assert series["repro_events_error"]["samples"][0][1] == 1.0
+        assert series["repro_events_recorded"]["samples"][0][1] == 2.0
 
     def test_every_series_has_type(self, service):
         for name, entry in parse_prometheus(

@@ -1,0 +1,162 @@
+"""Engine degradation events and solver-health forensics.
+
+Every silent numeric fallback in the DC/AC solvers must leave a
+retrievable trace: a reason string on the operating point
+(``op.latch_reason`` / ``op.health()``), a latch reason on the
+small-signal context (``ctx.latch_reasons()``), and — when the event
+log is armed — a structured event naming the circuit, the residual and
+(for non-convergence) a condition estimate.
+"""
+
+import numpy as np
+import pytest
+
+import repro.spice.dc as dc_mod
+import repro.spice.linsolve as linsolve
+from repro.circuits.micamp import build_mic_amp
+from repro.obs.events import EventLog, deactivate
+from repro.spice import Circuit
+from repro.spice.dc import ConvergenceError, NewtonOptions, dc_operating_point
+from repro.spice.mna import MnaSystem
+
+
+@pytest.fixture(autouse=True)
+def disarm_after():
+    yield
+    deactivate()
+
+
+def _unsolvable(tech):
+    """Conflicting current sources: no DC solution within the supplies."""
+    ckt = Circuit("bad")
+    ckt.vsource("vdd", "vdd", "gnd", dc=2.6)
+    ckt.isource("i1", "vdd", "d1", dc=100e-6)
+    ckt.mosfet("mp1", "d1", "d1", "vdd", "vdd", tech.pmos, 100e-6, 2e-6)
+    return ckt
+
+
+class TestHealthSidecar:
+    def test_converged_solve_reports_health(self, mic_amp_op):
+        health = mic_amp_op.health()
+        assert health["strategy"] == "newton"
+        assert health["iterations"] >= 1
+        assert health["worst_resid"] is not None
+        assert health["worst_resid"] < 1e-6
+        assert "latch_reason" not in health
+
+    def test_dense_latch_reason_retrievable(self, tech, monkeypatch):
+        monkeypatch.setattr(MnaSystem, "sparse_threshold", 1)
+        monkeypatch.setattr(dc_mod, "_sparse_newton_step",
+                            lambda *a, **k: None)
+        log = EventLog()
+        with log.activate():
+            op = dc_operating_point(build_mic_amp(tech, gain_code=5).circuit)
+        assert op.latch_reason is not None
+        assert "sparse step rejected at iteration 1" in op.latch_reason
+        assert op.health()["latch_reason"] == op.latch_reason
+        (latch,) = log.events(name="dc.dense_latch")
+        assert latch["severity"] == "warn"
+        assert latch["fields"]["reason"] == op.latch_reason
+        assert latch["fields"]["iteration"] == 1
+
+    def test_healthy_solve_has_no_latch(self, mic_amp_op):
+        assert mic_amp_op.latch_reason is None
+
+
+class TestEscalationEvents:
+    def test_nonconvergence_emits_forensics(self, tech):
+        log = EventLog()
+        with log.activate():
+            with pytest.raises(ConvergenceError):
+                dc_operating_point(_unsolvable(tech),
+                                   options=NewtonOptions(max_iterations=40))
+        escalations = log.events(name="dc.strategy_escalation")
+        assert escalations, "strategy ladder climbed without events"
+        first = escalations[0]
+        assert first["fields"]["from_strategy"] == "newton"
+        assert first["fields"]["to_strategy"] == "gmin-stepping"
+        assert isinstance(first["fields"]["resid_norm"], float)
+        failures = log.events(name="dc.nonconvergence", severity="error")
+        assert failures, "non-convergence never recorded"
+        assert failures[-1]["fields"]["circuit"] == "bad"
+        # The cheap 1-norm condition estimate rode along (it may be
+        # None only if LAPACK refused the factorization).
+        assert "cond1_est" in failures[-1]["fields"]
+
+    def test_disarmed_solve_emits_nothing_and_still_raises(self, tech):
+        with pytest.raises(ConvergenceError):
+            dc_operating_point(_unsolvable(tech),
+                               options=NewtonOptions(max_iterations=40))
+
+
+class TestCondEstimate:
+    def test_well_conditioned_near_one(self, mic_amp_op):
+        system = mic_amp_op.system
+        est = system.cond1_estimate(mic_amp_op.x, system.rhs_dc())
+        assert est is not None
+        assert est >= 1.0
+
+    def test_garbage_input_returns_none(self, mic_amp_op):
+        system = mic_amp_op.system
+        x = np.full_like(mic_amp_op.x, np.nan)
+        assert system.cond1_estimate(x, system.rhs_dc()) is None
+
+
+class TestLinsolveLatches:
+    def _sparse_ctx(self, tech, monkeypatch):
+        monkeypatch.setattr(MnaSystem, "sparse_threshold", 1)
+        op = dc_operating_point(build_mic_amp(tech, gain_code=5).circuit)
+        return op, op.small_signal()
+
+    def test_sparse_rejection_latches_with_reason(self, tech, monkeypatch):
+        op, ctx = self._sparse_ctx(tech, monkeypatch)
+        monkeypatch.setattr(linsolve, "SPECTRAL_RESIDUAL_TOL", -1.0)
+        log = EventLog()
+        freqs = np.logspace(1, 5, 8)
+        with log.activate():
+            fwd, _ = ctx.solve(freqs, rhs=ctx.rhs_ac())
+        assert fwd is not None  # dense ladder still served the answer
+        reasons = ctx.latch_reasons()
+        assert "rejected on scaled residual" in reasons["sparse"]
+        (latch,) = log.events(name="linsolve.sparse_dead_latch")
+        assert latch["fields"]["reason"] == reasons["sparse"]
+        assert "resid" in latch["fields"]
+        # Health sidecar folds the context latches in.
+        assert op.health()["small_signal_latches"] == reasons
+
+    def test_splu_failure_latches(self, tech, monkeypatch):
+        _, ctx = self._sparse_ctx(tech, monkeypatch)
+
+        def broken_splu(a):
+            raise RuntimeError("Factor is exactly singular")
+
+        import scipy.sparse.linalg
+
+        monkeypatch.setattr(scipy.sparse.linalg, "splu", broken_splu)
+        log = EventLog()
+        with log.activate():
+            fwd, _ = ctx.solve(np.logspace(1, 5, 8), rhs=ctx.rhs_ac())
+        assert fwd is not None
+        assert "splu factorization failed" in ctx.latch_reasons()["sparse"]
+        assert log.events(name="linsolve.sparse_dead_latch")
+
+    def test_spectral_rejection_event_carries_residual(
+            self, mic_amp_40db, monkeypatch):
+        op = dc_operating_point(mic_amp_40db.circuit)
+        ctx = op.small_signal()
+        b = ctx.rhs_ac()
+        assert ctx.spectral() is not None
+        monkeypatch.setattr(linsolve, "SPECTRAL_RESIDUAL_TOL", -1.0)
+        log = EventLog()
+        freqs = np.logspace(1, 6, 24)
+        with log.activate():
+            ctx.solve(freqs, rhs=b)
+        events = log.events(name="linsolve.spectral_rejected")
+        assert events, "spectral rejection never recorded"
+        assert events[0]["fields"]["n_freqs"] == 24
+        assert events[0]["fields"]["resid"] > 0.0
+
+    def test_healthy_context_reports_no_latches(self, mic_amp_op):
+        ctx = mic_amp_op.small_signal()
+        ctx.solve(np.logspace(1, 5, 8), rhs=ctx.rhs_ac())
+        assert ctx.latch_reasons() == {}

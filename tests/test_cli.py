@@ -272,6 +272,15 @@ class TestObsCli:
         out = capsys.readouterr().out
         assert "span(s) across" in out and "campaign.run" in out
 
+    def test_trace_top_lists_slowest_spans(self, tmp_path, capsys):
+        trace_file = tmp_path / "spans.jsonl"
+        assert main(self.ARGS + ["--trace-out", str(trace_file)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest 3 spans by self-time:" in out
+        assert "self" in out and "total" in out and "trace" in out
+
     def test_trace_json_round_trips(self, tmp_path, capsys):
         trace_file = tmp_path / "spans.jsonl"
         assert main(self.ARGS + ["--trace-out", str(trace_file)]) == 0

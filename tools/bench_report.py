@@ -1,115 +1,24 @@
 #!/usr/bin/env python
-"""Print benchmark trajectory deltas from ``BENCH_perf.json``.
-
-Every perf bench appends one point to its ``*_trajectory`` list on each
-full run (``campaign_trajectory``, ``serve_trajectory``, ...).  This
-tool reads the file back and prints, per trajectory and per numeric
-metric, the previous -> latest delta and the full first -> latest
-drift — so a batched speedup quietly sliding 10.1x -> 8.7x across PRs
-is *seen*, not discovered months later.
-
-Moves beyond ``DRIFT_THRESHOLD`` are flagged with ``DRIFT``; the flag
-is informational and the exit code is always 0 (smoke points mix with
-full points and hosts differ run to run) — CI runs this as a
-non-gating report step.  The per-entry provenance block
-(``platform/cpu_count/single_cpu/numpy/scipy``, stamped by
-``benchmarks/provenance.py``) is printed alongside so a "regression"
-that coincides with a machine change can be attributed to the machine.
+"""Thin wrapper: the bench trajectory report lives in
+:mod:`repro.obs.drift` now (same delta lines, plus the EWMA drift
+watchdog and its ``--gate`` exit code).  This script survives so that
+``python tools/bench_report.py`` keeps working from muscle memory and
+old CI configs; it simply forwards its arguments.
 
 Usage::
 
-    python tools/bench_report.py [BENCH_perf.json]
+    python tools/bench_report.py [BENCH_perf.json] [--gate] [--warn-only]
 """
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 import sys
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_PATH = REPO_ROOT / "BENCH_perf.json"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-#: Relative moves larger than this are flagged (informational only).
-DRIFT_THRESHOLD = 0.10
-
-PROVENANCE_KEYS = ("platform", "cpu_count", "single_cpu", "numpy", "scipy")
-
-
-def _numeric_keys(points: list[dict]) -> list[str]:
-    """Metric keys worth comparing: numeric, non-bool, present in the
-    latest point."""
-    latest = points[-1]
-    return [k for k, v in latest.items()
-            if isinstance(v, (int, float)) and not isinstance(v, bool)]
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)
-
-
-def _delta_line(name: str, old, new, label: str) -> str:
-    line = f"    {name:<28} {_fmt(old):>10} -> {_fmt(new):>10}  ({label})"
-    if isinstance(old, (int, float)) and old:
-        rel = (new - old) / abs(old)
-        line += f"  {rel:+.1%}"
-        if abs(rel) > DRIFT_THRESHOLD:
-            line += "  DRIFT"
-    return line
-
-
-def report(payload: dict) -> list[str]:
-    lines: list[str] = []
-    trajectories = sorted(k for k in payload if k.endswith("_trajectory"))
-    if not trajectories:
-        return ["no *_trajectory keys found — run a full bench first"]
-    for key in trajectories:
-        points = [p for p in payload[key] if isinstance(p, dict)]
-        if not points:
-            continue
-        bench = key[: -len("_trajectory")]
-        n_smoke = sum(1 for p in points if p.get("smoke"))
-        lines.append(f"{bench}: {len(points)} point(s)"
-                     + (f" ({n_smoke} smoke)" if n_smoke else ""))
-        entry = payload.get(bench)
-        if isinstance(entry, dict):
-            prov = {k: entry[k] for k in PROVENANCE_KEYS if k in entry}
-            if prov:
-                lines.append(f"  latest host: {prov}")
-        latest = points[-1]
-        first = points[0]
-        prev = points[-2] if len(points) > 1 else None
-        for metric in _numeric_keys(points):
-            if prev is not None and metric in prev:
-                lines.append(_delta_line(metric, prev[metric],
-                                         latest[metric], "prev -> latest"))
-            if len(points) > 1 and metric in first:
-                lines.append(_delta_line(metric, first[metric],
-                                         latest[metric], "first -> latest"))
-        lines.append("")
-    return lines
-
-
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    path = pathlib.Path(argv[0]) if argv else DEFAULT_PATH
-    try:
-        payload = json.loads(path.read_text())
-    except FileNotFoundError:
-        print(f"[bench_report] {path} does not exist — nothing to report")
-        return 0
-    except json.JSONDecodeError as exc:
-        print(f"[bench_report] {path} is not valid JSON: {exc}")
-        return 0
-    print(f"[bench_report] trajectories in {path} "
-          f"(flag threshold {DRIFT_THRESHOLD:.0%}; non-gating)")
-    for line in report(payload):
-        print(line)
-    return 0
-
+from repro.obs.drift import main  # noqa: E402
 
 if __name__ == "__main__":
     try:
